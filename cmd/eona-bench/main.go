@@ -1,0 +1,84 @@
+// Command eona-bench regenerates every experiment table from the paper
+// reproduction (DESIGN.md §4, E1–E14) and prints them.
+//
+// Usage:
+//
+//	eona-bench [-seed N] [-only E2,E8] [-skip-slow]
+//
+// -only selects a comma-separated subset by experiment ID. -skip-slow
+// omits the fleet simulations (E1, E4) and the wall-clock measurement
+// (E7), which dominate runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eona"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed (results are deterministic per seed)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E2,E8); empty = all")
+	skipSlow := flag.Bool("skip-slow", false, "skip the slower experiments (E1, E4, E7)")
+	flag.Parse()
+
+	want := selector(*only, *skipSlow)
+
+	type stringer interface{ String() string }
+	experiments := []struct {
+		id  string
+		run func() stringer
+	}{
+		{"E1", func() stringer { return eona.RunFlashCrowd(*seed).Table() }},
+		{"E2", func() stringer { return eona.RunOscillation(*seed).Table() }},
+		{"E3", func() stringer { return eona.RunInference(*seed).Table() }},
+		{"E4", func() stringer { return eona.RunCoarseControl(*seed).Table() }},
+		{"E5", func() stringer { return eona.RunEnergySaving(*seed).Table() }},
+		{"E6", func() stringer { return eona.RunStaleness(*seed).Table() }},
+		{"E7", func() stringer { return eona.RunScalability(0).Table() }},
+		{"E8", func() stringer { return eona.RunInterfaceWidth(*seed).Table() }},
+		{"E9", func() stringer { return eona.RunTimescales(*seed).Table() }},
+		{"E10", func() stringer { return eona.RunFairness(*seed).Table() }},
+		{"E11", func() stringer { return eona.RunPrivacy(*seed).Table() }},
+		{"E12", func() stringer { return eona.RunFeatureSelection(*seed).Table() }},
+		{"E13", func() stringer { return eona.RunWebCellular(*seed).Table() }},
+		{"E14", func() stringer { return eona.RunSearchSpace(*seed).Table() }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !want(e.id) {
+			continue
+		}
+		fmt.Println(e.run().String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "eona-bench: no experiments selected")
+		os.Exit(2)
+	}
+}
+
+// slowExperiments dominate wall time: the fleet simulations and the
+// wall-clock throughput measurement.
+var slowExperiments = map[string]bool{"E1": true, "E4": true, "E7": true}
+
+// selector builds the experiment filter from the -only and -skip-slow
+// flags.
+func selector(only string, skipSlow bool) func(id string) bool {
+	selected := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	return func(id string) bool {
+		if len(selected) > 0 {
+			return selected[id]
+		}
+		return !(skipSlow && slowExperiments[id])
+	}
+}

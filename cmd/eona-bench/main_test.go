@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestSelectorAll(t *testing.T) {
+	want := selector("", false)
+	for _, id := range []string{"E1", "E2", "E7", "E14"} {
+		if !want(id) {
+			t.Errorf("default selector excluded %s", id)
+		}
+	}
+}
+
+func TestSelectorOnly(t *testing.T) {
+	want := selector("e2, E8", false)
+	if !want("E2") || !want("E8") {
+		t.Error("-only selections excluded")
+	}
+	if want("E1") || want("E3") {
+		t.Error("unselected experiments included")
+	}
+}
+
+func TestSelectorSkipSlow(t *testing.T) {
+	want := selector("", true)
+	for id := range slowExperiments {
+		if want(id) {
+			t.Errorf("-skip-slow included %s", id)
+		}
+	}
+	if !want("E2") {
+		t.Error("-skip-slow excluded a fast experiment")
+	}
+}
+
+func TestSelectorOnlyOverridesSkipSlow(t *testing.T) {
+	want := selector("E1", true)
+	if !want("E1") {
+		t.Error("-only E1 should include E1 even with -skip-slow")
+	}
+}

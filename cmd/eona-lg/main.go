@@ -1,0 +1,126 @@
+// Command eona-lg runs a standalone EONA looking-glass server — the
+// queryable interface endpoint §3 proposes ("InfPs and AppPs can establish
+// 'looking glass'-like servers that can be queried to implement the
+// respective interfaces").
+//
+// It can serve either side:
+//
+//	eona-lg -role appp -addr :8080 -token demo-token
+//	    serves A2I: /v1/a2i/summaries, /v1/a2i/traffic
+//	eona-lg -role infp -addr :8081 -token demo-token
+//	    serves I2A: /v1/i2a/peering, /v1/i2a/attribution, /v1/i2a/hints
+//
+// Requests need "Authorization: Bearer <token>". The demo data is a small
+// deterministic synthetic state so the endpoints are immediately
+// explorable:
+//
+//	curl -H 'Authorization: Bearer demo-token' \
+//	    http://localhost:8081/v1/i2a/peering?cdn=cdnX
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"eona"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	role := flag.String("role", "infp", "which side to serve: appp (A2I) or infp (I2A)")
+	token := flag.String("token", "demo-token", "bearer token granted full access")
+	rate := flag.Float64("rate", 50, "requests/second allowed per collaborator")
+	flag.Parse()
+
+	store := eona.NewAuthStore()
+	store.Register(*token, "demo-collaborator", eona.ScopeAdmin)
+	limiter := eona.NewRateLimiter(*rate, *rate*2)
+
+	var src eona.Sources
+	switch *role {
+	case "appp":
+		src = apppSources()
+	case "infp":
+		src = infpSources()
+	default:
+		fmt.Fprintf(os.Stderr, "eona-lg: unknown role %q (want appp or infp)\n", *role)
+		os.Exit(2)
+	}
+
+	srv := eona.NewServer(store, limiter, src)
+	srv.Logf = log.Printf
+	log.Printf("eona-lg: serving %s looking glass on %s (wire %s)", *role, *addr, eona.WireVersion)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("eona-lg: %v", err)
+	}
+}
+
+// apppSources builds an AppP's A2I surfaces from a collector fed with a
+// deterministic synthetic session stream.
+func apppSources() eona.Sources {
+	col := eona.NewCollector("demo-vod", eona.ExportPolicy{MinGroupSessions: 2}, 5*time.Minute, 42)
+	model := eona.DefaultModel()
+	isps := []string{"isp-a", "isp-b"}
+	cdns := []string{"cdnX", "cdnY"}
+	for i := 0; i < 200; i++ {
+		m := eona.SessionMetrics{
+			StartupDelay:  time.Duration(500+i%2500) * time.Millisecond,
+			PlayTime:      time.Duration(5+i%20) * time.Minute,
+			BufferingTime: time.Duration(i%30) * time.Second,
+			AvgBitrate:    float64(1+i%4) * 1e6,
+		}
+		col.Ingest(eona.RecordFrom(model, m,
+			fmt.Sprintf("s%03d", i), "demo-vod", isps[i%2], cdns[i%3%2], "east",
+			time.Duration(i)*time.Second))
+	}
+	return eona.Sources{
+		QoESummaries:     col.Summaries,
+		TrafficEstimates: func() []eona.TrafficEstimate { return col.TrafficEstimates(200 * time.Second) },
+	}
+}
+
+// infpSources builds an InfP's I2A surfaces over a synthetic peering state
+// resembling the paper's Figure 5.
+func infpSources() eona.Sources {
+	peering := []eona.PeeringInfo{
+		{PeeringID: "B", CDN: "cdnX", Congestion: 3, HeadroomBps: 2e6, CapacityBps: 100e6, Current: true},
+		{PeeringID: "C", CDN: "cdnX", Congestion: 0, HeadroomBps: 310e6, CapacityBps: 400e6},
+		{PeeringID: "C", CDN: "cdnY", Congestion: 0, HeadroomBps: 310e6, CapacityBps: 400e6},
+	}
+	return eona.Sources{
+		PeeringInfo: func(cdnName string) []eona.PeeringInfo {
+			if cdnName == "" {
+				return peering
+			}
+			var out []eona.PeeringInfo
+			for _, p := range peering {
+				if p.CDN == cdnName {
+					out = append(out, p)
+				}
+			}
+			return out
+		},
+		Attribution: func(cdnName string) (eona.Attribution, bool) {
+			if cdnName != "cdnX" {
+				return eona.Attribution{}, false
+			}
+			return eona.Attribution{
+				CDN:     "cdnX",
+				Segment: eona.SegmentPeering,
+				Level:   3,
+			}, true
+		},
+		ServerHints: func(cdnName, cluster string) []eona.ServerHint {
+			if cluster == "" {
+				cluster = "east"
+			}
+			return []eona.ServerHint{
+				{ServerID: cluster + "-s01", Cluster: cluster, Load: 0.35, CacheLikely: true},
+				{ServerID: cluster + "-s02", Cluster: cluster, Load: 0.60, CacheLikely: true},
+			}
+		},
+	}
+}

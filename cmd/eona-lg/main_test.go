@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"eona"
+)
+
+func serveRole(t *testing.T, src eona.Sources) *eona.Client {
+	t.Helper()
+	store := eona.NewAuthStore()
+	store.Register("demo-token", "demo", eona.ScopeAdmin)
+	srv := eona.NewServer(store, nil, src)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return eona.NewClient(ts.URL, "demo-token")
+}
+
+func TestApppSourcesServeA2I(t *testing.T) {
+	client := serveRole(t, apppSources())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	sums, err := client.QoESummaries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) == 0 {
+		t.Fatal("demo AppP exports no summaries")
+	}
+	for _, s := range sums {
+		if s.Sessions < 2 {
+			t.Errorf("group %+v below the demo k-anonymity floor", s.Key)
+		}
+		if s.MeanScore < 0 || s.MeanScore > 100 {
+			t.Errorf("score out of range: %+v", s)
+		}
+	}
+
+	traffic, err := client.TrafficEstimates(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traffic) == 0 {
+		t.Fatal("demo AppP exports no traffic estimates")
+	}
+}
+
+func TestInfpSourcesServeI2A(t *testing.T) {
+	client := serveRole(t, infpSources())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	all, err := client.PeeringInfo(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("peering infos = %d, want 3", len(all))
+	}
+	onlyX, err := client.PeeringInfo(ctx, "cdnX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlyX) != 2 {
+		t.Errorf("cdnX peering infos = %d, want 2", len(onlyX))
+	}
+	current := 0
+	for _, p := range onlyX {
+		if p.Current {
+			current++
+		}
+	}
+	if current != 1 {
+		t.Errorf("current egress flags = %d, want exactly 1", current)
+	}
+
+	att, err := client.Attribution(ctx, "cdnX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Segment != eona.SegmentPeering {
+		t.Errorf("attribution segment = %v, want peering", att.Segment)
+	}
+	if _, err := client.Attribution(ctx, "cdnZ"); err == nil {
+		t.Error("unknown CDN attribution should 404")
+	}
+
+	hints, err := client.ServerHints(ctx, "cdnX", "west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hints) != 2 || hints[0].Cluster != "west" {
+		t.Errorf("hints = %+v", hints)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"eona"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want eona.Mode
+		err  bool
+	}{
+		{"baseline", eona.ModeBaseline, false},
+		{"base", eona.ModeBaseline, false},
+		{"BASELINE", eona.ModeBaseline, false},
+		{"eona", eona.ModeEONA, false},
+		{"EONA", eona.ModeEONA, false},
+		{"whatever", eona.ModeBaseline, true},
+		{"", eona.ModeBaseline, true},
+	}
+	for _, c := range cases {
+		got, err := parseMode(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("parseMode(%q) err = %v, want err=%v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("parseMode(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	if got := traceString(nil); got != "(empty)" {
+		t.Errorf("empty trace = %q", got)
+	}
+	if got := traceString([]string{"B", "C"}); got != "B C" {
+		t.Errorf("short trace = %q", got)
+	}
+	long := make([]string, 40)
+	for i := range long {
+		long[i] = "B"
+	}
+	got := traceString(long)
+	if !strings.Contains(got, "40 decisions total") {
+		t.Errorf("long trace = %q, want elision note", got)
+	}
+	if strings.Count(got, "B") != 16 {
+		t.Errorf("long trace shows %d entries, want 16", strings.Count(got, "B"))
+	}
+}

@@ -1,0 +1,137 @@
+// Command eona-trace generates and inspects workload traces — the synthetic
+// stand-in for the production session logs the paper's scenarios come from.
+// Traces are CSV (see internal/workload.WriteTrace) so an experiment's exact
+// inputs can be archived, diffed, and replayed.
+//
+// Generate a flash-crowd trace:
+//
+//	eona-trace -profile flashcrowd -peak 1.2 -horizon 14m -out crowd.csv
+//
+// Generate a diurnal day:
+//
+//	eona-trace -profile diurnal -mean 5 -horizon 24h -out day.csv
+//
+// Inspect any trace:
+//
+//	eona-trace -inspect crowd.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"eona/internal/workload"
+)
+
+func main() {
+	profile := flag.String("profile", "flashcrowd", "workload profile: flashcrowd | diurnal | constant")
+	base := flag.Float64("base", 0.12, "base arrival rate (sessions/s)")
+	peak := flag.Float64("peak", 1.2, "flash-crowd peak rate (sessions/s)")
+	mean := flag.Float64("mean", 1.0, "diurnal/constant mean rate (sessions/s)")
+	horizon := flag.Duration("horizon", 14*time.Minute, "trace duration")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	inspect := flag.String("inspect", "", "inspect an existing trace instead of generating")
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			log.Fatalf("eona-trace: %v", err)
+		}
+		return
+	}
+
+	var rate workload.RateFunc
+	var maxRate float64
+	switch *profile {
+	case "flashcrowd":
+		fc := workload.FlashCrowd{
+			Base: *base, Peak: *peak,
+			Start: *horizon / 5, RampUp: 30 * time.Second,
+			Hold: *horizon / 2, Down: time.Minute,
+		}
+		rate, maxRate = fc.Rate(), *peak
+	case "diurnal":
+		d := workload.Diurnal{Mean: *mean, Amplitude: *mean * 0.7, Period: 24 * time.Hour}
+		rate, maxRate = d.Rate(), *mean*1.7
+	case "constant":
+		rate, maxRate = workload.Constant(*mean), *mean
+	default:
+		log.Fatalf("eona-trace: unknown profile %q", *profile)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	sessions := workload.Generate(rng, workload.Spec{
+		Rate:    rate,
+		MaxRate: maxRate,
+		Horizon: *horizon,
+		Groups:  workload.NewWeightedChoice([]string{"isp-a", "isp-b", "isp-c"}, []float64{5, 3, 2}),
+	})
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("eona-trace: %v", err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := workload.WriteTrace(dst, sessions); err != nil {
+		log.Fatalf("eona-trace: %v", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "eona-trace: wrote %d sessions to %s\n", len(sessions), *out)
+	}
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sessions, err := workload.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	if len(sessions) == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	groups := map[string]int{}
+	var totalDur time.Duration
+	peak, window := 0, 0
+	// Concurrency estimate: sliding count of sessions active at each
+	// arrival instant.
+	ends := make([]time.Duration, 0, len(sessions))
+	for _, s := range sessions {
+		groups[s.ClientGroup]++
+		totalDur += s.IntendedDuration
+		end := s.Arrival + s.IntendedDuration
+		ends = append(ends, end)
+		window = 0
+		for _, e := range ends {
+			if e > s.Arrival {
+				window++
+			}
+		}
+		if window > peak {
+			peak = window
+		}
+	}
+	span := sessions[len(sessions)-1].Arrival
+	fmt.Printf("sessions        : %d over %s\n", len(sessions), span.Round(time.Second))
+	fmt.Printf("mean duration   : %s\n", (totalDur / time.Duration(len(sessions))).Round(time.Second))
+	fmt.Printf("peak concurrency: ≈%d\n", peak)
+	fmt.Printf("client groups   :")
+	for g, n := range groups {
+		fmt.Printf(" %s=%d", g, n)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,396 @@
+// Package eona implements EONA — the Experience-Oriented Network
+// Architecture of Jiang, Liu, Sekar, Stoica and Zhang (HotNets 2014) — as a
+// runnable system: the two information-sharing interfaces between
+// application providers (AppPs) and infrastructure providers (InfPs), the
+// control loops on both sides, the looking-glass query servers that carry
+// the interfaces over HTTP, and the simulation substrate on which every
+// scenario from the paper is reproduced quantitatively.
+//
+// # The two interfaces
+//
+//   - EONA-A2I (application → infrastructure): client-side experience
+//     measurements with attributes, aggregated and optionally blinded by a
+//     Collector, plus per-CDN traffic-volume estimates.
+//   - EONA-I2A (infrastructure → application): peering points with
+//     congestion levels, capacity headroom and the InfP's current egress
+//     decision; bottleneck attribution; alternative-server hints.
+//
+// Both interfaces carry information, never control: no type in this module
+// lets one party set another party's knob — exactly the paper's stance that
+// providers "are not relinquishing the knobs; they are merely exposing the
+// information of values of the decisions associated with their knobs."
+//
+// # Package map
+//
+// This facade re-exports the stable surface. The implementation lives in
+// internal packages:
+//
+//   - internal/core — interface types, A2I Collector, staleness model, and
+//     the executable §4 interface-design recipe
+//   - internal/control — baseline and EONA-enhanced AppP/InfP policies and
+//     per-session monitors
+//   - internal/lookingglass, internal/wire, internal/auth — the HTTP query
+//     servers, versioned exchange format, and token/scope access control
+//   - internal/netsim, internal/sim, internal/player, internal/cdn,
+//     internal/isp, internal/qoe, internal/workload — the simulation
+//     substrate (fluid max-min network, adaptive players, CDNs, ISPs)
+//   - internal/agg, internal/privacy, internal/infer, internal/feature,
+//     internal/stability — streaming aggregation, blinding, the inference
+//     baseline of Figure 4, information-gain feature selection, and
+//     oscillation detection/dampening
+//   - internal/expt — experiments E1–E14 reproducing every figure and
+//     scenario in the paper (see DESIGN.md §4 and EXPERIMENTS.md)
+//
+// # Quickstart
+//
+// Derive the paper's Figure 5 interface with the §4 recipe, then watch the
+// oscillation disappear:
+//
+//	iface, _ := eona.Figure5Recipe().WideInterface()
+//	for _, item := range iface.Items {
+//	    fmt.Println(item.Direction, item.Data)
+//	}
+//	r := eona.RunOscillation(1)
+//	fmt.Print(r.Table())
+//
+// See examples/ for runnable programs, including a live looking-glass
+// server and client.
+package eona
+
+import (
+	"time"
+
+	"eona/internal/auth"
+	"eona/internal/control"
+	"eona/internal/core"
+	"eona/internal/expt"
+	"eona/internal/lookingglass"
+	"eona/internal/qoe"
+	"eona/internal/wire"
+)
+
+// ---- Interface data types (EONA-A2I and EONA-I2A) ----
+
+type (
+	// QoERecord is one session's client-side measurement with its
+	// attributes — the unit of A2I collection.
+	QoERecord = core.QoERecord
+	// QoESummary is the aggregated, blinded A2I export for one
+	// (client ISP, CDN, cluster) group.
+	QoESummary = core.QoESummary
+	// SummaryKey identifies an A2I aggregation group.
+	SummaryKey = core.SummaryKey
+	// TrafficEstimate is the A2I per-CDN demand estimate that lets an
+	// InfP size its traffic split across peering points (§4).
+	TrafficEstimate = core.TrafficEstimate
+	// PeeringInfo is the I2A peering hint: congestion, headroom, and
+	// whether this is the InfP's current egress for the CDN.
+	PeeringInfo = core.PeeringInfo
+	// Attribution is the I2A bottleneck-attribution hint (access vs
+	// peering vs CDN), optionally with a suggested bitrate cap.
+	Attribution = core.Attribution
+	// BottleneckSegment locates a problem on the delivery path.
+	BottleneckSegment = core.BottleneckSegment
+	// ServerHint is the I2A alternative-server hint of §2.
+	ServerHint = core.ServerHint
+)
+
+// Bottleneck segments.
+const (
+	SegmentNone    = core.SegmentNone
+	SegmentAccess  = core.SegmentAccess
+	SegmentPeering = core.SegmentPeering
+	SegmentCDN     = core.SegmentCDN
+)
+
+// ---- A2I production ----
+
+type (
+	// Collector is the AppP-side A2I producer: O(1) ingest of
+	// QoERecords into windowed, blinded summaries and traffic
+	// estimates.
+	Collector = core.Collector
+	// ExportPolicy sets the blinding level of an A2I export
+	// (k-anonymity, Laplace noise, coarsening) — §4's
+	// effectiveness-vs-minimality knob.
+	ExportPolicy = core.ExportPolicy
+)
+
+// NewCollector builds a Collector for one AppP. window sizes the traffic
+// estimate window (default 5 minutes); seed feeds the privacy noiser.
+func NewCollector(appP string, policy ExportPolicy, window time.Duration, seed int64) *Collector {
+	return core.NewCollector(appP, policy, window, seed)
+}
+
+// Per-collaborator standing: which surfaces each partner may read and
+// under which blinding policy (§3 "choose the subset of collaborators",
+// §4 "specify what can or cannot be shared"). Wire a Registry into
+// Sources.QoESummariesFor via Collector.SummariesUnder.
+type (
+	// Registry tracks collaborators and their export policies.
+	Registry = core.Registry
+	// Partner is one collaborator's standing.
+	Partner = core.Partner
+	// Surface names an exportable interface surface.
+	Surface = core.Surface
+)
+
+// Exportable surfaces.
+const (
+	SurfaceQoESummaries = core.SurfaceQoESummaries
+	SurfaceTraffic      = core.SurfaceTraffic
+	SurfacePeering      = core.SurfacePeering
+	SurfaceAttribution  = core.SurfaceAttribution
+	SurfaceServerHints  = core.SurfaceServerHints
+)
+
+// NewRegistry returns an empty collaborator registry.
+func NewRegistry() *Registry { return core.NewRegistry() }
+
+// ---- QoE model ----
+
+type (
+	// SessionMetrics are the raw client-side session measurements.
+	SessionMetrics = qoe.SessionMetrics
+	// Model scores sessions (0–100) and estimates engagement.
+	Model = qoe.Model
+)
+
+// DefaultModel returns the scoring model used across the experiments.
+func DefaultModel() Model { return qoe.DefaultModel() }
+
+// RecordFrom flattens player metrics into a QoERecord.
+func RecordFrom(model Model, m SessionMetrics, sessionID, appP, clientISP, cdnName, cluster string, at time.Duration) QoERecord {
+	return core.RecordFrom(model, m, sessionID, appP, clientISP, cdnName, cluster, at)
+}
+
+// ---- The §4 recipe ----
+
+type (
+	// Recipe describes one use case: knobs, data attributes, their
+	// owners, and the hypothetical global controller's uses.
+	Recipe = core.Recipe
+	// Interface is a derived set of shared attributes with directions.
+	Interface = core.Interface
+	// Knob is a control variable with its natural owner.
+	Knob = core.Knob
+	// DataAttr is an observable with its natural owner.
+	DataAttr = core.DataAttr
+	// Use is one (knob needs data) edge of the global optimization.
+	Use = core.Use
+	// Owner is AppP or InfP.
+	Owner = core.Owner
+	// Direction is A2I or I2A.
+	Direction = core.Direction
+)
+
+// Owners and directions.
+const (
+	OwnerAppP = core.OwnerAppP
+	OwnerInfP = core.OwnerInfP
+	A2I       = core.A2I
+	I2A       = core.I2A
+)
+
+// Figure5Recipe returns the paper's §4 illustrative example encoded as a
+// Recipe; its WideInterface is exactly the A2I/I2A item list the paper
+// derives.
+func Figure5Recipe() Recipe { return core.Figure5Recipe() }
+
+// ---- Staleness ----
+
+// Delayed models inherent interface delay (§5): values published with Set
+// become visible to Get only after the configured delay.
+type Delayed[T any] struct{ inner *core.Delayed[T] }
+
+// NewDelayed creates a staleness store with the given interface delay.
+func NewDelayed[T any](delay time.Duration) *Delayed[T] {
+	return &Delayed[T]{inner: core.NewDelayed[T](delay)}
+}
+
+// Set publishes a value at virtual time now (non-decreasing).
+func (d *Delayed[T]) Set(now time.Duration, v T) { d.inner.Set(now, v) }
+
+// Get returns the newest value visible at now.
+func (d *Delayed[T]) Get(now time.Duration) (T, bool) { return d.inner.Get(now) }
+
+// ---- Control policies ----
+
+type (
+	// AppPPolicy decides the AppP's knobs (CDN choice, bitrate cap).
+	AppPPolicy = control.AppPPolicy
+	// InfPPolicy decides the InfP's knobs (egress per CDN).
+	InfPPolicy = control.InfPPolicy
+	// BaselineAppP is today's trial-and-error CDN switcher.
+	BaselineAppP = control.BaselineAppP
+	// EONAAppP reacts to I2A attribution and peering hints.
+	EONAAppP = control.EONAAppP
+	// BaselineInfP is utilization-reactive cost-greedy TE (the Figure 5
+	// oscillator).
+	BaselineInfP = control.BaselineInfP
+	// EONAInfP sizes egress choices with A2I traffic estimates.
+	EONAInfP = control.EONAInfP
+)
+
+// ---- Looking-glass servers (the wire-level EONA interfaces) ----
+
+type (
+	// Server exposes an owner's A2I/I2A surfaces over HTTP.
+	Server = lookingglass.Server
+	// Client consumes a peer's looking-glass server.
+	Client = lookingglass.Client
+	// Sources wires an owner's data into a Server.
+	Sources = lookingglass.Sources
+	// AuthStore grants bearer tokens scopes per collaborator.
+	AuthStore = auth.Store
+	// Scope names one exported capability.
+	Scope = auth.Scope
+	// RateLimiter throttles collaborators.
+	RateLimiter = auth.RateLimiter
+)
+
+// Scopes for the EONA surfaces.
+const (
+	ScopeA2IQoE     = auth.ScopeA2IQoE
+	ScopeA2ITraffic = auth.ScopeA2ITraffic
+	ScopeI2APeering = auth.ScopeI2APeering
+	ScopeI2AAttrib  = auth.ScopeI2AAttrib
+	ScopeI2AHints   = auth.ScopeI2AHints
+	ScopeAdmin      = auth.ScopeAdmin
+)
+
+// WireVersion is the exchange-format version this module speaks.
+const WireVersion = wire.Version
+
+// NewAuthStore returns an empty token store.
+func NewAuthStore() *AuthStore { return auth.NewStore() }
+
+// NewRateLimiter allows rate requests/second with the given burst per
+// collaborator.
+func NewRateLimiter(rate, burst float64) *RateLimiter { return auth.NewRateLimiter(rate, burst) }
+
+// NewServer builds a looking-glass server over the given sources. limiter
+// may be nil.
+func NewServer(store *AuthStore, limiter *RateLimiter, src Sources) *Server {
+	return lookingglass.NewServer(store, limiter, src)
+}
+
+// NewClient targets a peer's looking-glass at baseURL with a bearer token.
+func NewClient(baseURL, token string) *Client {
+	return lookingglass.NewClient(baseURL, token, nil)
+}
+
+// ---- Experiments (the paper's figures and scenarios, runnable) ----
+
+// Experiment result types; each has a Table() renderer.
+type (
+	// FlashCrowdResult is E1 / Figure 3.
+	FlashCrowdResult = expt.E1Pair
+	// OscillationResult is E2 / Figure 5.
+	OscillationResult = expt.E2Result
+	// InferenceResult is E3 / Figure 4.
+	InferenceResult = expt.E3Result
+	// CoarseControlResult is E4 / §2.
+	CoarseControlResult = expt.E4Pair
+	// EnergyResult is E5 / §2+§5.
+	EnergyResult = expt.E5Result
+	// StalenessResult is E6 / §5.
+	StalenessResult = expt.E6Result
+	// ScalabilityResult is E7 / §5.
+	ScalabilityResult = expt.E7Result
+	// InterfaceWidthResult is E8 / §4.
+	InterfaceWidthResult = expt.E8Result
+	// TimescaleResult is E9 / §5.
+	TimescaleResult = expt.E9Result
+	// FairnessResult is E10 / §5.
+	FairnessResult = expt.E10Result
+	// PrivacyResult is E11 / §4.
+	PrivacyResult = expt.E11Result
+	// FeatureSelectionResult is E12 / §4.
+	FeatureSelectionResult = expt.E12Result
+	// WebCellularResult is E13 / Figures 1(a)+4.
+	WebCellularResult = expt.E13Result
+	// SearchSpaceResult is E14 / §5.
+	SearchSpaceResult = expt.E14Result
+)
+
+// Scenario types for custom Figure 5 runs (cmd/eona-sim and downstream
+// what-if studies).
+type (
+	// ScenarioConfig parameterizes the Figure 5 scenario: capacities,
+	// demand profile, control modes and periods, staleness, noise, and
+	// dampening.
+	ScenarioConfig = expt.Fig5Config
+	// ScenarioResult summarizes a run: mean QoE, switch counts, limit
+	// cycles, and the full decision histories.
+	ScenarioResult = expt.Fig5Result
+	// Mode selects a party's control generation.
+	Mode = expt.Mode
+)
+
+// Control-policy generations.
+const (
+	ModeBaseline = expt.Baseline
+	ModeEONA     = expt.EONA
+)
+
+// RunScenario executes a parameterized Figure 5 scenario.
+func RunScenario(cfg ScenarioConfig) ScenarioResult { return expt.RunFig5(cfg) }
+
+// ScenarioOracle returns the global-controller upper bound for a scenario.
+func ScenarioOracle(cfg ScenarioConfig) float64 { return expt.Fig5Oracle(cfg) }
+
+// FlashCrowdConfig parameterizes a single Figure 3 arm (crowd shape,
+// access capacity, control mode).
+type FlashCrowdConfig = expt.E1Config
+
+// FlashCrowdArm is one arm's fleet-level outcome.
+type FlashCrowdArm = expt.E1Result
+
+// RunFlashCrowd reproduces Figure 3 (E1) with default parameters.
+func RunFlashCrowd(seed int64) FlashCrowdResult { return expt.RunE1(seed) }
+
+// RunFlashCrowdConfig runs one Figure 3 arm with custom parameters.
+func RunFlashCrowdConfig(cfg FlashCrowdConfig) FlashCrowdArm { return expt.RunE1Arm(cfg) }
+
+// RunOscillation reproduces Figure 5 (E2).
+func RunOscillation(seed int64) OscillationResult { return expt.RunE2(seed) }
+
+// RunInference reproduces Figure 4 (E3).
+func RunInference(seed int64) InferenceResult { return expt.RunE3(seed) }
+
+// RunCoarseControl reproduces the §2 server-failure scenario (E4).
+func RunCoarseControl(seed int64) CoarseControlResult { return expt.RunE4(seed) }
+
+// RunEnergySaving reproduces the §2 server-shutdown scenario (E5).
+func RunEnergySaving(seed int64) EnergyResult { return expt.RunE5(seed) }
+
+// RunStaleness sweeps interface delay (E6).
+func RunStaleness(seed int64) StalenessResult { return expt.RunE6(seed) }
+
+// RunScalability measures the A2I pipeline (E7). n is the record volume
+// (default 500k when ≤ 0).
+func RunScalability(n int) ScalabilityResult { return expt.RunE7(n) }
+
+// RunInterfaceWidth runs the §4 none→narrow→oracle ladder (E8).
+func RunInterfaceWidth(seed int64) InterfaceWidthResult { return expt.RunE8(seed) }
+
+// RunTimescales sweeps TE-vs-player control periods with and without
+// dampening (E9).
+func RunTimescales(seed int64) TimescaleResult { return expt.RunE9(seed) }
+
+// RunFairness compares per-pipe and per-user fairness across AppPs (E10).
+func RunFairness(seed int64) FairnessResult { return expt.RunE10(seed) }
+
+// RunPrivacy sweeps A2I blinding levels (E11).
+func RunPrivacy(seed int64) PrivacyResult { return expt.RunE11(seed) }
+
+// RunFeatureSelection ranks session attributes by information gain (E12).
+func RunFeatureSelection(seed int64) FeatureSelectionResult { return expt.RunE12(seed) }
+
+// RunWebCellular reproduces Figure 4 in its native web-over-cellular
+// setting (E13).
+func RunWebCellular(seed int64) WebCellularResult { return expt.RunE13(seed) }
+
+// RunSearchSpace compares exhaustive and EONA-guided knob search (E14).
+func RunSearchSpace(seed int64) SearchSpaceResult { return expt.RunE14(seed) }

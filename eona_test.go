@@ -1,0 +1,87 @@
+package eona_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"eona"
+)
+
+// The facade tests exercise the public API exactly the way a downstream
+// user would, end to end.
+
+func TestFacadeRecipe(t *testing.T) {
+	iface, err := eona.Figure5Recipe().WideInterface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iface.Size() != 5 {
+		t.Errorf("wide interface size = %d, want 5", iface.Size())
+	}
+	narrow := iface.Narrow("peering_congestion", "qoe_per_cdn")
+	if narrow.Size() != 2 {
+		t.Errorf("narrow size = %d", narrow.Size())
+	}
+}
+
+func TestFacadeCollectorToLookingGlass(t *testing.T) {
+	// AppP side: collect sessions.
+	col := eona.NewCollector("vod", eona.ExportPolicy{MinGroupSessions: 2}, time.Minute, 1)
+	model := eona.DefaultModel()
+	for i := 0; i < 5; i++ {
+		m := eona.SessionMetrics{PlayTime: 10 * time.Minute, AvgBitrate: 2e6, StartupDelay: time.Second}
+		col.Ingest(eona.RecordFrom(model, m, "s", "vod", "isp1", "cdnX", "east", time.Duration(i)*time.Second))
+	}
+
+	// Export over a looking glass with scoped access.
+	store := eona.NewAuthStore()
+	store.Register("isp1-token", "isp1", eona.ScopeA2IQoE)
+	srv := eona.NewServer(store, eona.NewRateLimiter(100, 10), eona.Sources{
+		QoESummaries: col.Summaries,
+	})
+	ts := newTestHTTP(t, srv)
+
+	// InfP side: query it.
+	client := eona.NewClient(ts, "isp1-token")
+	sums, err := client.QoESummaries(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].Key.CDN != "cdnX" || sums[0].Sessions != 5 {
+		t.Errorf("summaries = %+v", sums)
+	}
+}
+
+func TestFacadeDelayed(t *testing.T) {
+	d := eona.NewDelayed[eona.Attribution](time.Minute)
+	d.Set(0, eona.Attribution{Segment: eona.SegmentAccess})
+	if _, ok := d.Get(30 * time.Second); ok {
+		t.Error("value visible before the interface delay")
+	}
+	att, ok := d.Get(time.Minute)
+	if !ok || att.Segment != eona.SegmentAccess {
+		t.Errorf("Get = %+v, %v", att, ok)
+	}
+}
+
+func TestFacadeExperimentsRender(t *testing.T) {
+	// The cheap experiments, through the public API.
+	if s := eona.RunOscillation(3).Table().String(); len(s) == 0 {
+		t.Error("oscillation table empty")
+	}
+	if s := eona.RunFairness(1).Table().String(); len(s) == 0 {
+		t.Error("fairness table empty")
+	}
+	if s := eona.RunEnergySaving(1).Table().String(); len(s) == 0 {
+		t.Error("energy table empty")
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	var appP eona.AppPPolicy = &eona.BaselineAppP{Threshold: 60}
+	var infP eona.InfPPolicy = &eona.EONAInfP{Margin: 0.1, HighWater: 0.9}
+	if appP == nil || infP == nil {
+		t.Fatal("policy interfaces not satisfied")
+	}
+}

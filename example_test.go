@@ -1,0 +1,78 @@
+package eona_test
+
+import (
+	"fmt"
+	"time"
+
+	"eona"
+)
+
+// Deriving the paper's §4 illustrative interface with the executable
+// recipe: knobs and data get owners, the hypothetical global controller's
+// uses are enumerated, and everything that crosses an ownership line is
+// interface material.
+func ExampleFigure5Recipe() {
+	iface, err := eona.Figure5Recipe().WideInterface()
+	if err != nil {
+		panic(err)
+	}
+	for _, item := range iface.Items {
+		fmt.Println(item.Direction, item.Data)
+	}
+	// Output:
+	// I2A current_egress
+	// I2A peering_capacity
+	// I2A peering_congestion
+	// A2I qoe_per_cdn
+	// A2I traffic_volume_per_cdn
+}
+
+// Collecting client-side measurements into a blinded A2I export: groups
+// below the k-anonymity floor are suppressed.
+func ExampleNewCollector() {
+	col := eona.NewCollector("vod", eona.ExportPolicy{MinGroupSessions: 3}, time.Minute, 1)
+	model := eona.DefaultModel()
+	for i := 0; i < 4; i++ {
+		m := eona.SessionMetrics{PlayTime: 10 * time.Minute, AvgBitrate: 2e6, StartupDelay: time.Second}
+		col.Ingest(eona.RecordFrom(model, m, "s", "vod", "isp-a", "cdnX", "east", 0))
+	}
+	// A lone session on cdnY: suppressed by k-anonymity.
+	m := eona.SessionMetrics{PlayTime: 10 * time.Minute, AvgBitrate: 2e6, StartupDelay: time.Second}
+	col.Ingest(eona.RecordFrom(model, m, "s", "vod", "isp-a", "cdnY", "west", 0))
+
+	for _, s := range col.Summaries() {
+		fmt.Printf("%s via %s: %.0f sessions\n", s.Key.ClientISP, s.Key.CDN, s.Sessions)
+	}
+	// Output:
+	// isp-a via cdnX: 4 sessions
+}
+
+// The headline experiment: the Figure 5 limit cycle and its EONA fix.
+func ExampleRunOscillation() {
+	r := eona.RunOscillation(1)
+	fmt.Printf("baseline: oscillating=%v switches=%d\n",
+		r.Baseline.Oscillating, r.Baseline.ISPSwitches+r.Baseline.AppPSwitches)
+	fmt.Printf("eona:     oscillating=%v switches=%d score=%.0f (oracle %.0f)\n",
+		r.EONA.Oscillating, r.EONA.ISPSwitches+r.EONA.AppPSwitches,
+		r.EONA.MeanScore, r.Oracle)
+	// Output:
+	// baseline: oscillating=true switches=240
+	// eona:     oscillating=false switches=1 score=100 (oracle 100)
+}
+
+// Staleness-aware consumption of interface data (§5): values published
+// through a Delayed store become visible only after the interface delay.
+func ExampleNewDelayed() {
+	d := eona.NewDelayed[eona.TrafficEstimate](time.Minute)
+	d.Set(0, eona.TrafficEstimate{CDN: "cdnX", VolumeBps: 150e6})
+
+	if _, ok := d.Get(30 * time.Second); !ok {
+		fmt.Println("30s: not visible yet")
+	}
+	if est, ok := d.Get(90 * time.Second); ok {
+		fmt.Printf("90s: %s at %.0f Mbps\n", est.CDN, est.VolumeBps/1e6)
+	}
+	// Output:
+	// 30s: not visible yet
+	// 90s: cdnX at 150 Mbps
+}

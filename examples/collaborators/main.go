@@ -1,0 +1,100 @@
+// Collaborators demonstrates per-partner interface exports: one AppP, two
+// ISPs with different trust levels. The same looking-glass endpoint serves
+// each partner a differently-blinded view, driven by a collaborator
+// registry — §3's "choose the subset of collaborators" and §4's "specify
+// what can or cannot be shared", running over real loopback HTTP.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"eona"
+)
+
+func main() {
+	// The AppP's raw collection: a busy group on cdnX, a small (and
+	// therefore identifying) group on cdnY.
+	col := eona.NewCollector("vod", eona.ExportPolicy{}, 5*time.Minute, 1)
+	model := eona.DefaultModel()
+	for i := 0; i < 40; i++ {
+		m := eona.SessionMetrics{PlayTime: 10 * time.Minute, AvgBitrate: 2.5e6,
+			StartupDelay: time.Second, BufferingTime: time.Duration(i%12) * time.Second}
+		col.Ingest(eona.RecordFrom(model, m, fmt.Sprintf("s%d", i), "vod", "isp-a", "cdnX", "east", 0))
+	}
+	for i := 0; i < 2; i++ {
+		m := eona.SessionMetrics{PlayTime: 5 * time.Minute, AvgBitrate: 1e6, StartupDelay: 4 * time.Second}
+		col.Ingest(eona.RecordFrom(model, m, fmt.Sprintf("y%d", i), "vod", "isp-a", "cdnY", "west", 0))
+	}
+
+	// Collaborator standings: the long-standing partner gets exact
+	// aggregates; the new partner gets k-anonymity, noise, and coarse
+	// scores.
+	reg := eona.NewRegistry()
+	reg.Register(eona.Partner{
+		Name:      "isp-longterm",
+		Policy:    eona.ExportPolicy{},
+		NoiseSeed: 11,
+		Surfaces:  map[eona.Surface]bool{eona.SurfaceQoESummaries: true},
+	})
+	reg.Register(eona.Partner{
+		Name:      "isp-new",
+		Policy:    eona.ExportPolicy{MinGroupSessions: 10, NoiseEpsilon: 0.5, CoarsenScoreStep: 5},
+		NoiseSeed: 22,
+		Surfaces:  map[eona.Surface]bool{eona.SurfaceQoESummaries: true},
+	})
+
+	store := eona.NewAuthStore()
+	store.Register("tok-longterm", "isp-longterm", eona.ScopeA2IQoE)
+	store.Register("tok-new", "isp-new", eona.ScopeA2IQoE)
+
+	srv := eona.NewServer(store, nil, eona.Sources{
+		QoESummariesFor: func(partner string) []eona.QoESummary {
+			if !reg.Allowed(partner, eona.SurfaceQoESummaries) {
+				return nil
+			}
+			policy, seed := reg.PolicyFor(partner)
+			return col.SummariesUnder(policy, seed)
+		},
+	})
+	url := serve(srv)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	for _, partner := range []struct{ name, token string }{
+		{"isp-longterm (trusted)", "tok-longterm"},
+		{"isp-new (restricted)", "tok-new"},
+	} {
+		sums, err := eona.NewClient(url, partner.token).QoESummaries(ctx)
+		if err != nil {
+			log.Fatalf("%s: %v", partner.name, err)
+		}
+		fmt.Printf("%s sees %d group(s):\n", partner.name, len(sums))
+		for _, s := range sums {
+			fmt.Printf("  %s/%s: %.1f sessions, score %.1f\n",
+				s.Key.CDN, s.Key.Cluster, s.Sessions, s.MeanScore)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The restricted partner never sees the 2-session cdnY group (k-anonymity),")
+	fmt.Println("and its counts and scores are noised and coarsened; the trusted partner")
+	fmt.Println("sees exact aggregates. Same endpoint, same data, per-partner policy.")
+}
+
+func serve(srv *eona.Server) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	go func() {
+		s := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		if err := s.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	return "http://" + ln.Addr().String()
+}

@@ -1,0 +1,34 @@
+// Energysaving reproduces the §2 configuration-change scenario: a cluster
+// operator shutting servers down off-peak. Without application visibility
+// the operator is "too conservative or too aggressive"; the A2I QoE
+// feedback loop finds the efficient frontier. The example prints the policy
+// table and then traces the A2I-feedback controller hour by hour.
+package main
+
+import (
+	"fmt"
+
+	"eona"
+)
+
+func main() {
+	r := eona.RunEnergySaving(1)
+	fmt.Print(r.Table().String())
+	fmt.Println()
+
+	fmt.Println("Reading the table:")
+	for _, arm := range r.Arms {
+		var verdict string
+		switch {
+		case arm.EnergyPct == 100:
+			verdict = "the QoE ceiling — and the energy bill to match"
+		case arm.OverloadEpochs > 10:
+			verdict = "pays for its savings in overloaded epochs (the 'too aggressive' operator)"
+		case arm.EnergyPct > 70:
+			verdict = "safe but wasteful (the 'too conservative' operator)"
+		default:
+			verdict = "QoE feedback: sleeps into the trough, wakes on the first degraded summary"
+		}
+		fmt.Printf("  %-34s %s\n", arm.Name+":", verdict)
+	}
+}

@@ -1,0 +1,132 @@
+// Lookingglass runs both sides of a live EONA exchange over real loopback
+// HTTP: an AppP's looking-glass exporting A2I summaries and traffic
+// estimates, an InfP's looking-glass exporting I2A peering state and
+// attribution, and each side querying the other with scoped bearer tokens —
+// the complete §3 architecture in one process.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"eona"
+)
+
+func main() {
+	// --- AppP side: collect sessions, export A2I. ---
+	col := eona.NewCollector("vod", eona.ExportPolicy{MinGroupSessions: 2}, 5*time.Minute, 1)
+	model := eona.DefaultModel()
+	for i := 0; i < 60; i++ {
+		cdnName := "cdnX"
+		buffering := time.Duration(i%4) * time.Second
+		if i%3 == 0 {
+			cdnName = "cdnY"
+			buffering = time.Duration(20+i%10) * time.Second // Y is suffering
+		}
+		m := eona.SessionMetrics{
+			StartupDelay:  time.Second,
+			PlayTime:      10 * time.Minute,
+			BufferingTime: buffering,
+			AvgBitrate:    2.5e6,
+		}
+		col.Ingest(eona.RecordFrom(model, m, fmt.Sprintf("s%02d", i),
+			"vod", "isp-a", cdnName, "east", time.Duration(i)*time.Second))
+	}
+	apppAuth := eona.NewAuthStore()
+	apppAuth.Register("token-for-isp", "isp-a", eona.ScopeA2IQoE, eona.ScopeA2ITraffic)
+	apppSrv := eona.NewServer(apppAuth, nil, eona.Sources{
+		QoESummaries:     col.Summaries,
+		TrafficEstimates: func() []eona.TrafficEstimate { return col.TrafficEstimates(60 * time.Second) },
+	})
+	apppURL := serve(apppSrv)
+
+	// --- InfP side: export I2A peering state. ---
+	infpAuth := eona.NewAuthStore()
+	infpAuth.Register("token-for-appp", "vod", eona.ScopeI2APeering, eona.ScopeI2AAttrib)
+	infpSrv := eona.NewServer(infpAuth, nil, eona.Sources{
+		PeeringInfo: func(cdnName string) []eona.PeeringInfo {
+			return []eona.PeeringInfo{
+				{PeeringID: "B", CDN: "cdnX", Congestion: 3, HeadroomBps: 1e6, CapacityBps: 100e6, Current: true},
+				{PeeringID: "C", CDN: "cdnX", Congestion: 0, HeadroomBps: 300e6, CapacityBps: 400e6},
+			}
+		},
+		Attribution: func(cdnName string) (eona.Attribution, bool) {
+			return eona.Attribution{CDN: cdnName, Segment: eona.SegmentPeering, Level: 3}, true
+		},
+	})
+	infpURL := serve(infpSrv)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// --- The ISP queries the AppP's A2I. ---
+	ispClient := eona.NewClient(apppURL, "token-for-isp")
+	sums, err := ispClient.QoESummaries(ctx)
+	if err != nil {
+		log.Fatalf("ISP querying A2I: %v", err)
+	}
+	fmt.Println("ISP's view through EONA-A2I (per-CDN experience of its subscribers):")
+	for _, s := range sums {
+		fmt.Printf("  %s → %s: %3.0f sessions, score %5.1f, buffering %4.1f%%\n",
+			s.Key.ClientISP, s.Key.CDN, s.Sessions, s.MeanScore, 100*s.MeanBufferingRatio)
+	}
+	traffic, err := ispClient.TrafficEstimates(ctx)
+	if err != nil {
+		log.Fatalf("ISP querying traffic: %v", err)
+	}
+	for _, te := range traffic {
+		fmt.Printf("  intended volume toward %s: %.1f Mbps (%0.f sessions)\n",
+			te.CDN, te.VolumeBps/1e6, te.Sessions)
+	}
+	fmt.Println()
+
+	// --- The AppP queries the InfP's I2A. ---
+	apppClient := eona.NewClient(infpURL, "token-for-appp")
+	peering, err := apppClient.PeeringInfo(ctx, "cdnX")
+	if err != nil {
+		log.Fatalf("AppP querying I2A: %v", err)
+	}
+	fmt.Println("AppP's view through EONA-I2A (the ISP's peering state for cdnX):")
+	for _, p := range peering {
+		cur := ""
+		if p.Current {
+			cur = "  ← ISP's current egress"
+		}
+		fmt.Printf("  peering %s: congestion %v, headroom %.0f Mbps of %.0f%s\n",
+			p.PeeringID, p.Congestion, p.HeadroomBps/1e6, p.CapacityBps/1e6, cur)
+	}
+	att, err := apppClient.Attribution(ctx, "cdnX")
+	if err != nil {
+		log.Fatalf("AppP querying attribution: %v", err)
+	}
+	fmt.Printf("  bottleneck attribution: %v (level %v)\n", att.Segment, att.Level)
+	fmt.Println()
+	fmt.Println("With both views, the AppP knows to stay on cdnX (the congested peering")
+	fmt.Println("has an uncongested alternative the ISP can move to), and the ISP knows")
+	fmt.Println("the offered volume it must fit — the Figure 5 oscillation never starts.")
+
+	// --- Scope enforcement, demonstrated. ---
+	if _, err := ispClient.PeeringInfo(ctx, "cdnX"); err != nil {
+		fmt.Printf("\n(scope check: the ISP's A2I token cannot read I2A surfaces: %v)\n", err)
+	}
+}
+
+// serve starts a looking-glass on an ephemeral loopback port and returns
+// its base URL.
+func serve(srv *eona.Server) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	go func() {
+		s := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		if err := s.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	return "http://" + ln.Addr().String()
+}

@@ -1,0 +1,59 @@
+// Oscillation walks the Figure 5 scenario through four interface
+// configurations — none, one-way (each direction), and the paper's two-way
+// narrow interface — printing the decision traces so the limit cycle and
+// its fix are visible, then compares everything against the global
+// controller oracle.
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"eona"
+)
+
+func main() {
+	arms := []struct {
+		name       string
+		appP, infP eona.Mode
+	}{
+		{"no sharing (status quo)", eona.ModeBaseline, eona.ModeBaseline},
+		{"I2A only (ISP → app)", eona.ModeEONA, eona.ModeBaseline},
+		{"A2I only (app → ISP)", eona.ModeBaseline, eona.ModeEONA},
+		{"two-way narrow (EONA)", eona.ModeEONA, eona.ModeEONA},
+	}
+
+	var oracle float64
+	for _, arm := range arms {
+		cfg := eona.ScenarioConfig{
+			Seed:     1,
+			Horizon:  time.Hour,
+			AppPMode: arm.appP,
+			InfPMode: arm.infP,
+		}
+		res := eona.RunScenario(cfg)
+		oracle = eona.ScenarioOracle(cfg)
+		fmt.Printf("%-26s score %6.1f  switches %3d  %s\n",
+			arm.name, res.MeanScore,
+			res.ISPSwitches+res.AppPSwitches,
+			stability(res))
+		fmt.Printf("%26s egress: %s\n", "", trace(res.EgressHistory))
+		fmt.Printf("%26s cdn:    %s\n\n", "", trace(res.CDNHistory))
+	}
+	fmt.Printf("%-26s score %6.1f  (hypothetical global controller)\n", "oracle", oracle)
+}
+
+func stability(r eona.ScenarioResult) string {
+	if r.Oscillating {
+		return fmt.Sprintf("LIMIT CYCLE (period %d)", r.CyclePeriod)
+	}
+	return "converged"
+}
+
+func trace(h []string) string {
+	if len(h) > 12 {
+		return strings.Join(h[:12], " ") + fmt.Sprintf(" … (%d total)", len(h))
+	}
+	return strings.Join(h, " ")
+}

@@ -1,0 +1,54 @@
+// Quickstart: derive an EONA interface with the §4 recipe, collect some
+// client-side QoE into an A2I export, and run the headline oscillation
+// experiment — the minimal tour of the public API.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"eona"
+)
+
+func main() {
+	// 1. The §4 recipe, executable: enumerate knobs/data with owners and
+	// the global controller's uses, derive the wide interface, narrow it.
+	recipe := eona.Figure5Recipe()
+	iface, err := recipe.WideInterface()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Wide interface for the Figure 5 use case:")
+	for _, item := range iface.Items {
+		fmt.Printf("  %-4s %-24s needed by %v\n", item.Direction, item.Data, item.Consumers)
+	}
+	narrow := iface.Narrow("qoe_per_cdn", "peering_congestion", "current_egress")
+	fmt.Printf("Narrowed to %d of %d attributes.\n\n", narrow.Size(), iface.Size())
+
+	// 2. A2I collection: per-session measurements roll up into blinded
+	// group summaries.
+	col := eona.NewCollector("demo-vod", eona.ExportPolicy{MinGroupSessions: 3}, time.Minute, 7)
+	model := eona.DefaultModel()
+	for i := 0; i < 10; i++ {
+		m := eona.SessionMetrics{
+			StartupDelay:  1500 * time.Millisecond,
+			PlayTime:      8 * time.Minute,
+			BufferingTime: time.Duration(i) * 2 * time.Second,
+			AvgBitrate:    2.5e6,
+		}
+		rec := eona.RecordFrom(model, m, fmt.Sprintf("s%02d", i),
+			"demo-vod", "isp-a", "cdnX", "east", time.Duration(i)*10*time.Second)
+		col.Ingest(rec)
+	}
+	fmt.Println("A2I summaries:")
+	for _, s := range col.Summaries() {
+		fmt.Printf("  %s via %s/%s: %d sessions, score %.1f, buffering %.2f%%\n",
+			s.Key.ClientISP, s.Key.CDN, s.Key.Cluster,
+			int(s.Sessions), s.MeanScore, 100*s.MeanBufferingRatio)
+	}
+	fmt.Println()
+
+	// 3. The headline result: independent control loops oscillate;
+	// the EONA exchange converges to the paper's green path.
+	fmt.Print(eona.RunOscillation(1).Table().String())
+}

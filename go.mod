@@ -1,0 +1,3 @@
+module eona
+
+go 1.22

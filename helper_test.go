@@ -1,0 +1,17 @@
+package eona_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"eona"
+)
+
+// newTestHTTP serves a looking-glass server over loopback HTTP for the
+// facade tests and returns its base URL.
+func newTestHTTP(t *testing.T, srv *eona.Server) string {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}

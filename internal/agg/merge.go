@@ -1,0 +1,86 @@
+package agg
+
+import (
+	"fmt"
+	"hash/maphash"
+)
+
+// Merge operations let aggregation shard across workers and combine — the
+// map/reduce shape of the "big data platforms (e.g., Spark)" the paper
+// points at for A2I scale. A Collector front-end can run per ingest shard
+// and merge summaries before export.
+
+// Merge adds another sketch's counts into cm. Both sketches must have been
+// created by Clone from a common ancestor (identical dimensions and hash
+// seeds) — merging sketches with different seeds would silently corrupt
+// estimates, so mismatched shapes panic.
+func (cm *CountMin) Merge(other *CountMin) {
+	if cm.width != other.width || cm.depth != other.depth {
+		panic(fmt.Sprintf("agg: merging count-min of shape %dx%d with %dx%d",
+			cm.width, cm.depth, other.width, other.depth))
+	}
+	for i := range cm.seeds {
+		if cm.seeds[i] != other.seeds[i] {
+			panic("agg: merging count-min sketches with different hash seeds (not Clone-related)")
+		}
+	}
+	for row := range cm.counts {
+		for col := range cm.counts[row] {
+			cm.counts[row][col] += other.counts[row][col]
+		}
+	}
+	cm.total += other.total
+}
+
+// Clone returns an empty sketch sharing cm's dimensions and hash seeds, so
+// shards built from clones can later Merge.
+func (cm *CountMin) Clone() *CountMin {
+	out := &CountMin{width: cm.width, depth: cm.depth}
+	out.seeds = append([]maphash.Seed(nil), cm.seeds...)
+	for i := 0; i < cm.depth; i++ {
+		out.counts = append(out.counts, make([]uint64, cm.width))
+	}
+	return out
+}
+
+// Merge folds another accumulator into w using the parallel-variance
+// (Chan et al.) formula, as if all observations had been fed to w.
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n1, n2 := float64(w.n), float64(other.n)
+	delta := other.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += other.m2 + delta*delta*n1*n2/total
+	w.n += other.n
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+}
+
+// Merge folds another rollup into r, merging per-group per-metric
+// accumulators. Groups unique to other keep their first-observation order
+// after r's own groups.
+func (r *Rollup[K]) Merge(other *Rollup[K]) {
+	for _, k := range other.order {
+		og := other.groups[k]
+		g, ok := r.groups[k]
+		if !ok {
+			g = &Group{metrics: make(map[string]*Welford)}
+			r.groups[k] = g
+			r.order = append(r.order, k)
+		}
+		for _, name := range og.Metrics() {
+			g.Metric(name).Merge(og.metrics[name])
+		}
+	}
+}

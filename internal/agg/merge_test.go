@@ -1,0 +1,155 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMinMergeMatchesSingle(t *testing.T) {
+	parent := NewCountMin(128, 4)
+	shardA, shardB := parent.Clone(), parent.Clone()
+	single := parent.Clone()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(300))
+		single.Add(key, 1)
+		if i%2 == 0 {
+			shardA.Add(key, 1)
+		} else {
+			shardB.Add(key, 1)
+		}
+	}
+	shardA.Merge(shardB)
+	if shardA.Total() != single.Total() {
+		t.Fatalf("merged total = %d, want %d", shardA.Total(), single.Total())
+	}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if shardA.Estimate(key) != single.Estimate(key) {
+			t.Fatalf("Estimate(%s): merged %d != single %d",
+				key, shardA.Estimate(key), single.Estimate(key))
+		}
+	}
+}
+
+func TestCountMinMergeShapeMismatchPanics(t *testing.T) {
+	a := NewCountMin(64, 4)
+	b := NewCountMin(128, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestCountMinMergeSeedMismatchPanics(t *testing.T) {
+	a := NewCountMin(64, 4)
+	b := NewCountMin(64, 4) // fresh seeds, not Clone-related
+	defer func() {
+		if recover() == nil {
+			t.Error("seed mismatch did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestWelfordMergeMatchesSingle(t *testing.T) {
+	var single, a, b Welford
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		v := rng.NormFloat64()*7 + 3
+		single.Add(v)
+		if i%3 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != single.Count() {
+		t.Fatalf("count = %d, want %d", a.Count(), single.Count())
+	}
+	if math.Abs(a.Mean()-single.Mean()) > 1e-9 {
+		t.Errorf("mean = %v, want %v", a.Mean(), single.Mean())
+	}
+	if math.Abs(a.Variance()-single.Variance()) > 1e-9 {
+		t.Errorf("variance = %v, want %v", a.Variance(), single.Variance())
+	}
+	if a.Min() != single.Min() || a.Max() != single.Max() {
+		t.Error("min/max not preserved by merge")
+	}
+}
+
+func TestWelfordMergeEmptySides(t *testing.T) {
+	var empty, full Welford
+	full.Add(1)
+	full.Add(3)
+	cp := full
+	cp.Merge(&empty) // no-op
+	if cp.Count() != 2 || cp.Mean() != 2 {
+		t.Error("merging empty changed the accumulator")
+	}
+	var dst Welford
+	dst.Merge(&full)
+	if dst.Count() != 2 || dst.Mean() != 2 || dst.Min() != 1 || dst.Max() != 3 {
+		t.Errorf("merge into empty = %+v", dst)
+	}
+}
+
+func TestRollupMerge(t *testing.T) {
+	a, b := NewRollup[string](), NewRollup[string]()
+	a.Observe("isp1/cdnX", "score", 80)
+	a.Observe("isp1/cdnX", "score", 60)
+	b.Observe("isp1/cdnX", "score", 40)
+	b.Observe("isp2/cdnY", "score", 90)
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged groups = %d, want 2", a.Len())
+	}
+	if got := a.Group("isp1/cdnX").Metric("score").Mean(); got != 60 {
+		t.Errorf("merged mean = %v, want 60", got)
+	}
+	if got := a.Group("isp1/cdnX").Metric("score").Count(); got != 3 {
+		t.Errorf("merged count = %v, want 3", got)
+	}
+	if a.Group("isp2/cdnY") == nil {
+		t.Error("foreign group not merged in")
+	}
+	keys := a.Keys()
+	if keys[0] != "isp1/cdnX" || keys[1] != "isp2/cdnY" {
+		t.Errorf("key order after merge = %v", keys)
+	}
+}
+
+// Property: merging two Welford shards equals feeding one accumulator,
+// for any partition of any value sequence.
+func TestQuickWelfordMergeEquivalence(t *testing.T) {
+	f := func(vals []int8, mask uint64) bool {
+		var single, a, b Welford
+		for i, raw := range vals {
+			v := float64(raw)
+			single.Add(v)
+			if mask&(1<<(uint(i)%64)) != 0 {
+				a.Add(v)
+			} else {
+				b.Add(v)
+			}
+		}
+		a.Merge(&b)
+		if a.Count() != single.Count() {
+			return false
+		}
+		if single.Count() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-single.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-single.Variance()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

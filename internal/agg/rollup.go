@@ -1,0 +1,65 @@
+package agg
+
+import "sort"
+
+// Group holds named metric accumulators for one rollup key.
+type Group struct {
+	metrics map[string]*Welford
+}
+
+// Metric returns the accumulator for a named metric, creating it on first
+// use.
+func (g *Group) Metric(name string) *Welford {
+	w, ok := g.metrics[name]
+	if !ok {
+		w = &Welford{}
+		g.metrics[name] = w
+	}
+	return w
+}
+
+// Metrics returns the metric names observed so far, sorted.
+func (g *Group) Metrics() []string {
+	names := make([]string, 0, len(g.metrics))
+	for n := range g.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Rollup is a dimensional group-by aggregator: it keeps per-key Welford
+// accumulators for any number of named metrics. This is the shape of an A2I
+// summary: key = (client ISP, CDN, cluster), metrics = QoE measures.
+type Rollup[K comparable] struct {
+	groups map[K]*Group
+	// keyLess orders Keys(); nil means insertion order is not defined
+	// and Keys() sorts by the order groups were created.
+	order []K
+}
+
+// NewRollup returns an empty rollup.
+func NewRollup[K comparable]() *Rollup[K] {
+	return &Rollup[K]{groups: make(map[K]*Group)}
+}
+
+// Observe records value v for metric under key k.
+func (r *Rollup[K]) Observe(k K, metric string, v float64) {
+	g, ok := r.groups[k]
+	if !ok {
+		g = &Group{metrics: make(map[string]*Welford)}
+		r.groups[k] = g
+		r.order = append(r.order, k)
+	}
+	g.Metric(metric).Add(v)
+}
+
+// Group returns the group for k, or nil if never observed.
+func (r *Rollup[K]) Group(k K) *Group { return r.groups[k] }
+
+// Keys returns all keys in first-observation order (deterministic given a
+// deterministic input stream).
+func (r *Rollup[K]) Keys() []K { return append([]K(nil), r.order...) }
+
+// Len returns the number of groups.
+func (r *Rollup[K]) Len() int { return len(r.groups) }

@@ -1,0 +1,91 @@
+package agg
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// TopK tracks the approximate k heaviest keys of a stream using a count-min
+// sketch for frequencies plus a small min-heap of candidates — the
+// "which client ISPs / CDNs dominate the traffic" question an AppP's A2I
+// pipeline answers before deciding which InfPs are worth an EONA
+// relationship.
+type TopK struct {
+	k      int
+	sketch *CountMin
+	heap   topkHeap
+	index  map[string]int // key → heap position
+}
+
+// Entry is one heavy hitter.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+type topkHeap []Entry
+
+func (h topkHeap) Len() int           { return len(h) }
+func (h topkHeap) Less(i, j int) bool { return h[i].Count < h[j].Count }
+func (h topkHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap) Push(x any)        { *h = append(*h, x.(Entry)) }
+func (h *topkHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewTopK tracks the k heaviest keys with a sketch of the given error
+// parameters.
+func NewTopK(k int, epsilon, delta float64) *TopK {
+	if k <= 0 {
+		panic("agg: TopK needs k > 0")
+	}
+	return &TopK{
+		k:      k,
+		sketch: NewCountMinWithError(epsilon, delta),
+		index:  make(map[string]int),
+	}
+}
+
+// Add counts one occurrence of key and updates the candidate set.
+func (t *TopK) Add(key string, n uint64) {
+	t.sketch.Add(key, n)
+	est := t.sketch.Estimate(key)
+	if pos, ok := t.index[key]; ok {
+		t.heap[pos].Count = est
+		heap.Fix(&t.heap, pos)
+		t.reindex()
+		return
+	}
+	if len(t.heap) < t.k {
+		heap.Push(&t.heap, Entry{Key: key, Count: est})
+		t.reindex()
+		return
+	}
+	if est > t.heap[0].Count {
+		delete(t.index, t.heap[0].Key)
+		t.heap[0] = Entry{Key: key, Count: est}
+		heap.Fix(&t.heap, 0)
+		t.reindex()
+	}
+}
+
+func (t *TopK) reindex() {
+	for i, e := range t.heap {
+		t.index[e.Key] = i
+	}
+}
+
+// Top returns the current heavy hitters, heaviest first (ties by key).
+func (t *TopK) Top() []Entry {
+	out := append([]Entry(nil), t.heap...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// MemoryBytes approximates the footprint (sketch + candidates).
+func (t *TopK) MemoryBytes() int {
+	return t.sketch.MemoryBytes() + t.k*32
+}

@@ -1,0 +1,90 @@
+package agg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestTopKFindsHeavyHitters(t *testing.T) {
+	tk := NewTopK(3, 0.001, 0.001)
+	rng := rand.New(rand.NewSource(1))
+	// Three heavy keys among a sea of light ones.
+	for i := 0; i < 30000; i++ {
+		switch {
+		case i%3 == 0:
+			tk.Add("isp-big", 1)
+		case i%5 == 0:
+			tk.Add("isp-mid", 1)
+		case i%7 == 0:
+			tk.Add("isp-small", 1)
+		default:
+			tk.Add(fmt.Sprintf("noise-%d", rng.Intn(5000)), 1)
+		}
+	}
+	top := tk.Top()
+	if len(top) != 3 {
+		t.Fatalf("top = %d entries, want 3", len(top))
+	}
+	if top[0].Key != "isp-big" || top[1].Key != "isp-mid" || top[2].Key != "isp-small" {
+		t.Errorf("top order = %v", top)
+	}
+	if top[0].Count < 9000 || top[0].Count > 11000 {
+		t.Errorf("isp-big count = %d, want ≈10000", top[0].Count)
+	}
+}
+
+func TestTopKUnderfilled(t *testing.T) {
+	tk := NewTopK(10, 0.01, 0.01)
+	tk.Add("a", 5)
+	tk.Add("b", 3)
+	top := tk.Top()
+	if len(top) != 2 || top[0].Key != "a" || top[0].Count != 5 {
+		t.Errorf("top = %v", top)
+	}
+}
+
+func TestTopKWeightedAdds(t *testing.T) {
+	tk := NewTopK(2, 0.01, 0.01)
+	tk.Add("x", 100)
+	tk.Add("y", 1)
+	tk.Add("z", 50)
+	top := tk.Top()
+	if top[0].Key != "x" || top[1].Key != "z" {
+		t.Errorf("top = %v", top)
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	NewTopK(0, 0.01, 0.01)
+}
+
+func TestTopKMemoryBounded(t *testing.T) {
+	tk := NewTopK(5, 0.01, 0.01)
+	for i := 0; i < 100000; i++ {
+		tk.Add(fmt.Sprintf("k%d", i), 1)
+	}
+	if len(tk.heap) > 5 {
+		t.Errorf("candidate set grew to %d", len(tk.heap))
+	}
+	if tk.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}
+
+func BenchmarkTopKAdd(b *testing.B) {
+	tk := NewTopK(10, 0.001, 0.001)
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("isp-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Add(keys[i%len(keys)], 1)
+	}
+}

@@ -1,0 +1,126 @@
+package cdn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(2)
+	if c.Request(1) {
+		t.Error("first request should miss")
+	}
+	if !c.Request(1) {
+		t.Error("second request should hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 1/1", hits, misses)
+	}
+	if c.HitRatio() != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", c.HitRatio())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Request(1)
+	c.Request(2)
+	c.Request(1) // 1 is now MRU
+	c.Request(3) // evicts 2
+	if !c.Contains(1) {
+		t.Error("recently used object evicted")
+	}
+	if c.Contains(2) {
+		t.Error("LRU object not evicted")
+	}
+	if !c.Contains(3) {
+		t.Error("new object not inserted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheZeroCapacity(t *testing.T) {
+	c := NewCache(0)
+	if c.Request(1) {
+		t.Error("zero-capacity cache hit")
+	}
+	if c.Request(1) {
+		t.Error("zero-capacity cache cached an object")
+	}
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache stored an object")
+	}
+	c.Warm(1, 2)
+	if c.Len() != 0 {
+		t.Error("Warm stored into zero-capacity cache")
+	}
+}
+
+func TestCacheNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative capacity did not panic")
+		}
+	}()
+	NewCache(-1)
+}
+
+func TestCacheWarm(t *testing.T) {
+	c := NewCache(3)
+	c.Warm(1, 2, 3)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 0 {
+		t.Error("Warm should not count hits or misses")
+	}
+	if !c.Request(2) {
+		t.Error("warmed object should hit")
+	}
+	c.Warm(2) // already present: no-op
+	if c.Len() != 3 {
+		t.Error("Warm duplicated an object")
+	}
+	c.Warm(4) // evicts LRU
+	if c.Len() != 3 {
+		t.Errorf("Len after over-warm = %d, want 3", c.Len())
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(2)
+	c.Request(1)
+	c.Flush()
+	if c.Len() != 0 || c.Contains(1) {
+		t.Error("Flush did not empty cache")
+	}
+}
+
+// Property: the cache never exceeds capacity and Contains is consistent with
+// what Request reported.
+func TestQuickCacheInvariants(t *testing.T) {
+	f := func(ids []uint8, capacity uint8) bool {
+		cap := int(capacity%16) + 1
+		c := NewCache(cap)
+		for _, id := range ids {
+			c.Request(ContentID(id))
+			// Pull-through: the object must be cached after any
+			// request, and the cache never exceeds capacity.
+			if !c.Contains(ContentID(id)) || c.Len() > cap {
+				return false
+			}
+			// An immediate re-request must hit.
+			if !c.Request(ContentID(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

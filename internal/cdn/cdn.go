@@ -1,0 +1,277 @@
+package cdn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"eona/internal/netsim"
+)
+
+// Server is one delivery server inside a cluster, with a finite concurrent
+// session capacity. Servers can be administratively asleep (the §2
+// energy-saving knob) or unhealthy (the §2 coarse-control failure).
+type Server struct {
+	ID       string
+	Capacity int
+	active   int
+	healthy  bool
+	asleep   bool
+}
+
+// NewServer returns a healthy, awake server.
+func NewServer(id string, capacity int) *Server {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cdn: server %s needs positive capacity", id))
+	}
+	return &Server{ID: id, Capacity: capacity, healthy: true}
+}
+
+// Active returns the number of sessions currently assigned.
+func (s *Server) Active() int { return s.active }
+
+// Load returns active/capacity in [0, 1].
+func (s *Server) Load() float64 { return float64(s.active) / float64(s.Capacity) }
+
+// Available reports whether the server can accept another session.
+func (s *Server) Available() bool {
+	return s.healthy && !s.asleep && s.active < s.Capacity
+}
+
+// Healthy reports server health.
+func (s *Server) Healthy() bool { return s.healthy }
+
+// SetHealthy marks the server failed or recovered. Existing sessions on a
+// failed server are the scenario's responsibility to migrate.
+func (s *Server) SetHealthy(h bool) { s.healthy = h }
+
+// Asleep reports whether the server is powered down.
+func (s *Server) Asleep() bool { return s.asleep }
+
+// SetAsleep powers the server down or up (energy-saving scenario, §2).
+func (s *Server) SetAsleep(a bool) { s.asleep = a }
+
+// ErrNoServer is returned when no server in a cluster can accept a session.
+var ErrNoServer = errors.New("cdn: no available server in cluster")
+
+// Cluster is a co-located group of servers sharing one content cache,
+// attached to one network node.
+type Cluster struct {
+	Name string
+	// Node is where the cluster sits in the simulated topology.
+	Node netsim.NodeID
+	// OriginPenalty is the extra startup delay a cache miss costs
+	// (origin round trip plus fill).
+	OriginPenalty time.Duration
+
+	Servers []*Server
+	Cache   *Cache
+}
+
+// NewCluster builds a cluster of n identical servers with the given
+// per-server session capacity and a cache of cacheObjects objects.
+func NewCluster(name string, node netsim.NodeID, n, serverCapacity, cacheObjects int, originPenalty time.Duration) *Cluster {
+	if n <= 0 {
+		panic("cdn: cluster needs at least one server")
+	}
+	c := &Cluster{
+		Name:          name,
+		Node:          node,
+		OriginPenalty: originPenalty,
+		Cache:         NewCache(cacheObjects),
+	}
+	for i := 0; i < n; i++ {
+		c.Servers = append(c.Servers, NewServer(fmt.Sprintf("%s-s%02d", name, i), serverCapacity))
+	}
+	return c
+}
+
+// TotalCapacity sums the capacity of awake, healthy servers.
+func (c *Cluster) TotalCapacity() int {
+	total := 0
+	for _, s := range c.Servers {
+		if s.healthy && !s.asleep {
+			total += s.Capacity
+		}
+	}
+	return total
+}
+
+// ActiveSessions sums active sessions across all servers.
+func (c *Cluster) ActiveSessions() int {
+	total := 0
+	for _, s := range c.Servers {
+		total += s.active
+	}
+	return total
+}
+
+// Load returns cluster-wide active/available-capacity; 1 when no capacity
+// is available.
+func (c *Cluster) Load() float64 {
+	cap := c.TotalCapacity()
+	if cap == 0 {
+		return 1
+	}
+	l := float64(c.ActiveSessions()) / float64(cap)
+	if l > 1 {
+		l = 1
+	}
+	return l
+}
+
+// AwakeServers counts servers that are powered up (healthy or not).
+func (c *Cluster) AwakeServers() int {
+	n := 0
+	for _, s := range c.Servers {
+		if !s.asleep {
+			n++
+		}
+	}
+	return n
+}
+
+// PickServer returns the least-loaded available server, breaking ties by ID
+// for determinism, or ErrNoServer.
+func (c *Cluster) PickServer() (*Server, error) {
+	var best *Server
+	for _, s := range c.Servers {
+		if !s.Available() {
+			continue
+		}
+		if best == nil || s.Load() < best.Load() || (s.Load() == best.Load() && s.ID < best.ID) {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, ErrNoServer
+	}
+	return best, nil
+}
+
+// Alternatives lists available servers other than exclude, least-loaded
+// first — the raw data behind the I2A alternative-server hint of §2.
+func (c *Cluster) Alternatives(exclude *Server) []*Server {
+	var out []*Server
+	for _, s := range c.Servers {
+		if s == exclude || !s.Available() {
+			continue
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Load() != out[j].Load() {
+			return out[i].Load() < out[j].Load()
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Assignment records a session placed on a server.
+type Assignment struct {
+	Cluster *Cluster
+	Server  *Server
+	// CacheHit reports whether the content was already cached.
+	CacheHit bool
+	// StartupPenalty is the extra startup delay from an origin fetch
+	// (zero on a hit).
+	StartupPenalty time.Duration
+
+	released bool
+}
+
+// Assign admits a session for content onto the cluster's best server,
+// performing the pull-through cache lookup. It returns ErrNoServer if the
+// cluster is full.
+func (c *Cluster) Assign(content ContentID) (*Assignment, error) {
+	s, err := c.PickServer()
+	if err != nil {
+		return nil, err
+	}
+	return c.AssignTo(s, content)
+}
+
+// AssignTo admits a session onto a specific server (used when following an
+// I2A alternative-server hint). The server must be available.
+func (c *Cluster) AssignTo(s *Server, content ContentID) (*Assignment, error) {
+	if !s.Available() {
+		return nil, ErrNoServer
+	}
+	s.active++
+	hit := c.Cache.Request(content)
+	a := &Assignment{Cluster: c, Server: s, CacheHit: hit}
+	if !hit {
+		a.StartupPenalty = c.OriginPenalty
+	}
+	return a, nil
+}
+
+// Release frees the session's server slot. Releasing twice is a no-op.
+func (a *Assignment) Release() {
+	if a == nil || a.released {
+		return
+	}
+	a.released = true
+	if a.Server.active > 0 {
+		a.Server.active--
+	}
+}
+
+// CDN is a named collection of clusters.
+type CDN struct {
+	Name     string
+	Clusters []*Cluster
+}
+
+// New builds a CDN from clusters.
+func New(name string, clusters ...*Cluster) *CDN {
+	if len(clusters) == 0 {
+		panic("cdn: CDN needs at least one cluster")
+	}
+	return &CDN{Name: name, Clusters: clusters}
+}
+
+// Cluster returns the named cluster, or nil.
+func (c *CDN) Cluster(name string) *Cluster {
+	for _, cl := range c.Clusters {
+		if cl.Name == name {
+			return cl
+		}
+	}
+	return nil
+}
+
+// BestCluster returns the least-loaded cluster with available capacity,
+// breaking ties by name, or nil if the CDN is saturated.
+func (c *CDN) BestCluster() *Cluster {
+	var best *Cluster
+	for _, cl := range c.Clusters {
+		if _, err := cl.PickServer(); err != nil {
+			continue
+		}
+		if best == nil || cl.Load() < best.Load() || (cl.Load() == best.Load() && cl.Name < best.Name) {
+			best = cl
+		}
+	}
+	return best
+}
+
+// TotalCapacity sums available capacity across clusters.
+func (c *CDN) TotalCapacity() int {
+	total := 0
+	for _, cl := range c.Clusters {
+		total += cl.TotalCapacity()
+	}
+	return total
+}
+
+// ActiveSessions sums sessions across clusters.
+func (c *CDN) ActiveSessions() int {
+	total := 0
+	for _, cl := range c.Clusters {
+		total += cl.ActiveSessions()
+	}
+	return total
+}

@@ -1,0 +1,202 @@
+package cdn
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func testCluster() *Cluster {
+	return NewCluster("east", "cdnX-east", 3, 10, 100, 2*time.Second)
+}
+
+func TestNewClusterShape(t *testing.T) {
+	c := testCluster()
+	if len(c.Servers) != 3 {
+		t.Fatalf("servers = %d, want 3", len(c.Servers))
+	}
+	if c.TotalCapacity() != 30 {
+		t.Errorf("capacity = %d, want 30", c.TotalCapacity())
+	}
+	if c.Servers[0].ID != "east-s00" {
+		t.Errorf("server ID = %q", c.Servers[0].ID)
+	}
+}
+
+func TestPickServerLeastLoaded(t *testing.T) {
+	c := testCluster()
+	// Put 2 sessions on s00, 1 on s01.
+	c.Servers[0].active = 2
+	c.Servers[1].active = 1
+	s, err := c.PickServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != "east-s02" {
+		t.Errorf("picked %q, want east-s02 (empty)", s.ID)
+	}
+}
+
+func TestPickServerTieBreakByID(t *testing.T) {
+	c := testCluster()
+	s, err := c.PickServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != "east-s00" {
+		t.Errorf("tie-break picked %q, want east-s00", s.ID)
+	}
+}
+
+func TestPickServerSkipsUnavailable(t *testing.T) {
+	c := testCluster()
+	c.Servers[0].SetHealthy(false)
+	c.Servers[1].SetAsleep(true)
+	s, err := c.PickServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != "east-s02" {
+		t.Errorf("picked %q, want east-s02", s.ID)
+	}
+	c.Servers[2].active = 10 // full
+	if _, err := c.PickServer(); !errors.Is(err, ErrNoServer) {
+		t.Errorf("err = %v, want ErrNoServer", err)
+	}
+}
+
+func TestAssignAndRelease(t *testing.T) {
+	c := testCluster()
+	a, err := c.Assign(ContentID(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheHit {
+		t.Error("cold cache should miss")
+	}
+	if a.StartupPenalty != 2*time.Second {
+		t.Errorf("penalty = %v, want 2s", a.StartupPenalty)
+	}
+	if c.ActiveSessions() != 1 {
+		t.Errorf("active = %d, want 1", c.ActiveSessions())
+	}
+	b, err := c.Assign(ContentID(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.CacheHit || b.StartupPenalty != 0 {
+		t.Error("second request for same content should hit with no penalty")
+	}
+	a.Release()
+	b.Release()
+	if c.ActiveSessions() != 0 {
+		t.Errorf("active after release = %d, want 0", c.ActiveSessions())
+	}
+	a.Release() // double release is a no-op
+	if c.ActiveSessions() != 0 {
+		t.Error("double release decremented")
+	}
+	var nilA *Assignment
+	nilA.Release()
+}
+
+func TestAssignToUnavailableServer(t *testing.T) {
+	c := testCluster()
+	c.Servers[0].SetHealthy(false)
+	if _, err := c.AssignTo(c.Servers[0], 1); !errors.Is(err, ErrNoServer) {
+		t.Errorf("err = %v, want ErrNoServer", err)
+	}
+}
+
+func TestAlternativesSortedByLoad(t *testing.T) {
+	c := testCluster()
+	c.Servers[0].active = 5
+	c.Servers[1].active = 2
+	alts := c.Alternatives(c.Servers[2])
+	if len(alts) != 2 {
+		t.Fatalf("alternatives = %d, want 2", len(alts))
+	}
+	if alts[0].ID != "east-s01" || alts[1].ID != "east-s00" {
+		t.Errorf("order = %s,%s want east-s01,east-s00", alts[0].ID, alts[1].ID)
+	}
+	c.Servers[1].SetHealthy(false)
+	if got := c.Alternatives(c.Servers[2]); len(got) != 1 {
+		t.Errorf("alternatives with failed server = %d, want 1", len(got))
+	}
+}
+
+func TestClusterLoadAndSleep(t *testing.T) {
+	c := testCluster()
+	if c.Load() != 0 {
+		t.Errorf("empty load = %v", c.Load())
+	}
+	c.Servers[0].active = 10
+	c.Servers[1].active = 5
+	if got := c.Load(); got != 0.5 {
+		t.Errorf("load = %v, want 0.5", got)
+	}
+	c.Servers[2].SetAsleep(true)
+	// capacity drops to 20, active still 15
+	if got := c.Load(); got != 0.75 {
+		t.Errorf("load after sleep = %v, want 0.75", got)
+	}
+	if c.AwakeServers() != 2 {
+		t.Errorf("awake = %d, want 2", c.AwakeServers())
+	}
+	for _, s := range c.Servers {
+		s.SetAsleep(true)
+	}
+	if c.Load() != 1 {
+		t.Error("all-asleep cluster load should be 1")
+	}
+}
+
+func TestCDNBestCluster(t *testing.T) {
+	east := NewCluster("east", "e", 1, 10, 10, time.Second)
+	west := NewCluster("west", "w", 1, 10, 10, time.Second)
+	c := New("cdnX", east, west)
+	east.Servers[0].active = 8
+	if got := c.BestCluster(); got != west {
+		t.Errorf("best = %v, want west", got.Name)
+	}
+	west.Servers[0].active = 10 // full
+	if got := c.BestCluster(); got != east {
+		t.Errorf("best = %v, want east", got.Name)
+	}
+	east.Servers[0].active = 10
+	if got := c.BestCluster(); got != nil {
+		t.Errorf("best on saturated CDN = %v, want nil", got.Name)
+	}
+	if c.TotalCapacity() != 20 || c.ActiveSessions() != 20 {
+		t.Error("CDN totals wrong")
+	}
+}
+
+func TestCDNClusterLookup(t *testing.T) {
+	east := NewCluster("east", "e", 1, 10, 10, time.Second)
+	c := New("cdnX", east)
+	if c.Cluster("east") != east {
+		t.Error("lookup failed")
+	}
+	if c.Cluster("nope") != nil {
+		t.Error("missing cluster should be nil")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewServer("s", 0) },
+		func() { NewCluster("c", "n", 0, 1, 1, 0) },
+		func() { New("cdn") },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,167 @@
+package control
+
+import (
+	"time"
+
+	"eona/internal/player"
+	"eona/internal/sim"
+)
+
+// Reason classifies why a session monitor fired.
+type Reason int
+
+const (
+	// ReasonBuffering: the recent buffering ratio crossed the threshold.
+	ReasonBuffering Reason = iota
+	// ReasonNoProgress: throughput collapsed (e.g., the server died) —
+	// nothing is arriving at all.
+	ReasonNoProgress
+	// ReasonSlowStart: playback has not begun after SlowStartAfter.
+	ReasonSlowStart
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case ReasonBuffering:
+		return "buffering"
+	case ReasonNoProgress:
+		return "no-progress"
+	case ReasonSlowStart:
+		return "slow-start"
+	default:
+		return "unknown"
+	}
+}
+
+// MonitorConfig parameterizes a session monitor.
+type MonitorConfig struct {
+	// CheckEvery is the monitoring period. Default 2s.
+	CheckEvery time.Duration
+	// BufferingThreshold is the recent buffering ratio that triggers
+	// ReasonBuffering. Default 0.15.
+	BufferingThreshold float64
+	// NoProgressAfter triggers ReasonNoProgress when the smoothed
+	// throughput stays below 1 kbps for this long while the player is
+	// not done. Default 6s.
+	NoProgressAfter time.Duration
+	// SlowStartAfter triggers ReasonSlowStart when playback has not
+	// begun after this much startup delay. Default 20s.
+	SlowStartAfter time.Duration
+	// Cooldown suppresses re-triggering after a reaction. Default 10s.
+	Cooldown time.Duration
+}
+
+func (c *MonitorConfig) applyDefaults() {
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 2 * time.Second
+	}
+	if c.BufferingThreshold == 0 {
+		c.BufferingThreshold = 0.15
+	}
+	if c.NoProgressAfter == 0 {
+		c.NoProgressAfter = 6 * time.Second
+	}
+	if c.SlowStartAfter == 0 {
+		c.SlowStartAfter = 20 * time.Second
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 10 * time.Second
+	}
+}
+
+// Monitor watches one player session and invokes a reaction callback when
+// experience degrades — this is the per-session half of an AppP control
+// loop (the other half, the fleet-level policy, decides what the reaction
+// does: baseline CDN switch vs. EONA-informed response).
+type Monitor struct {
+	cfg    MonitorConfig
+	player *player.Player
+	react  func(*Monitor, Reason)
+
+	lastPlay      time.Duration
+	lastBuffering time.Duration
+	noProgressFor time.Duration
+	mutedUntil    time.Duration
+	stop          func()
+
+	// Triggers counts reactions fired, by reason.
+	Triggers map[Reason]int
+}
+
+// NewMonitor attaches a monitor to a player and starts its periodic check.
+// react runs inside the simulation loop; it may redirect the player.
+func NewMonitor(e *sim.Engine, p *player.Player, cfg MonitorConfig, react func(*Monitor, Reason)) *Monitor {
+	cfg.applyDefaults()
+	m := &Monitor{
+		cfg:      cfg,
+		player:   p,
+		react:    react,
+		Triggers: make(map[Reason]int),
+	}
+	m.stop = e.Every(cfg.CheckEvery, m.check)
+	return m
+}
+
+// Player returns the monitored player.
+func (m *Monitor) Player() *player.Player { return m.player }
+
+// Stop detaches the monitor.
+func (m *Monitor) Stop() {
+	if m.stop != nil {
+		m.stop()
+	}
+}
+
+// RecentBufferingRatio returns the buffering ratio over the last check
+// interval (not the whole session), so a long-healthy session still reacts
+// quickly when conditions change.
+func (m *Monitor) recentBufferingRatio() (float64, bool) {
+	cur := m.player.Metrics()
+	dPlay := cur.PlayTime - m.lastPlay
+	dBuf := cur.BufferingTime - m.lastBuffering
+	m.lastPlay = cur.PlayTime
+	m.lastBuffering = cur.BufferingTime
+	total := dPlay + dBuf
+	if total <= 0 {
+		return 0, false
+	}
+	return float64(dBuf) / float64(total), true
+}
+
+func (m *Monitor) check(e *sim.Engine) bool {
+	if m.player.Done() {
+		return false
+	}
+	ratio, ok := m.recentBufferingRatio()
+
+	// No-progress detection.
+	if m.player.ThroughputEMA() < 1e3 {
+		m.noProgressFor += m.cfg.CheckEvery
+	} else {
+		m.noProgressFor = 0
+	}
+
+	if e.Now() < m.mutedUntil {
+		return true
+	}
+	cur := m.player.Metrics()
+	switch {
+	case m.noProgressFor >= m.cfg.NoProgressAfter:
+		m.fire(e, ReasonNoProgress)
+	case cur.PlayTime == 0 && cur.StartupDelay >= m.cfg.SlowStartAfter:
+		m.fire(e, ReasonSlowStart)
+	case ok && ratio >= m.cfg.BufferingThreshold:
+		m.fire(e, ReasonBuffering)
+	}
+	return true
+}
+
+func (m *Monitor) fire(e *sim.Engine, r Reason) {
+	m.Triggers[r]++
+	m.mutedUntil = e.Now() + m.cfg.Cooldown
+	m.noProgressFor = 0
+	if m.react != nil {
+		m.react(m, r)
+	}
+}

@@ -1,0 +1,142 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"eona/internal/player"
+	"eona/internal/sim"
+)
+
+type scriptConn struct {
+	rate   float64
+	demand float64
+}
+
+func (c *scriptConn) Rate() float64 {
+	if c.demand == 0 {
+		return 0
+	}
+	return math.Min(c.rate, c.demand)
+}
+func (c *scriptConn) SetDemand(bps float64) { c.demand = bps }
+func (c *scriptConn) Close()                {}
+
+func newSession(e *sim.Engine, rate float64, content time.Duration) (*player.Player, *scriptConn) {
+	p := player.New(e, player.Config{
+		Ladder: []float64{300e3, 1e6, 3e6},
+		ABR:    player.Fixed{Bitrate: 1e6},
+	}, content)
+	c := &scriptConn{rate: rate}
+	p.Start(c, 0)
+	return p, c
+}
+
+func TestMonitorQuietOnHealthySession(t *testing.T) {
+	e := sim.NewEngine(1)
+	p, _ := newSession(e, 5e6, time.Minute)
+	fired := 0
+	NewMonitor(e, p, MonitorConfig{}, func(*Monitor, Reason) { fired++ })
+	e.Run(2 * time.Minute)
+	if fired != 0 {
+		t.Errorf("monitor fired %d times on a healthy session", fired)
+	}
+}
+
+func TestMonitorFiresOnBuffering(t *testing.T) {
+	e := sim.NewEngine(1)
+	p, conn := newSession(e, 1e6, 5*time.Minute)
+	var reasons []Reason
+	m := NewMonitor(e, p, MonitorConfig{}, func(_ *Monitor, r Reason) { reasons = append(reasons, r) })
+	// Starve mid-session: 1e6 rung on a 100kbps link.
+	e.Schedule(20*time.Second, func(*sim.Engine) { conn.rate = 1e5 })
+	e.Run(90 * time.Second)
+	if len(reasons) == 0 {
+		t.Fatal("monitor never fired despite starvation")
+	}
+	if reasons[0] != ReasonBuffering {
+		t.Errorf("first reason = %v, want buffering", reasons[0])
+	}
+	if m.Triggers[ReasonBuffering] != len(reasons) {
+		t.Error("trigger counter mismatch")
+	}
+}
+
+func TestMonitorCooldownLimitsFiring(t *testing.T) {
+	e := sim.NewEngine(1)
+	p, conn := newSession(e, 1e6, 10*time.Minute)
+	fired := 0
+	NewMonitor(e, p, MonitorConfig{Cooldown: 30 * time.Second}, func(*Monitor, Reason) { fired++ })
+	e.Schedule(10*time.Second, func(*sim.Engine) { conn.rate = 1e4 })
+	e.Run(70 * time.Second)
+	// ~45s of continuous misery with a 30s cooldown: at most 2 firings.
+	if fired > 2 {
+		t.Errorf("fired %d times, cooldown not enforced", fired)
+	}
+	if fired == 0 {
+		t.Error("never fired")
+	}
+}
+
+func TestMonitorNoProgress(t *testing.T) {
+	e := sim.NewEngine(1)
+	p, conn := newSession(e, 2e6, 10*time.Minute)
+	var got []Reason
+	NewMonitor(e, p, MonitorConfig{NoProgressAfter: 6 * time.Second},
+		func(_ *Monitor, r Reason) { got = append(got, r) })
+	// Server dies completely at 20s.
+	e.Schedule(20*time.Second, func(*sim.Engine) { conn.rate = 0 })
+	e.Run(2 * time.Minute)
+	foundNoProgress := false
+	for _, r := range got {
+		if r == ReasonNoProgress {
+			foundNoProgress = true
+		}
+	}
+	if !foundNoProgress {
+		t.Errorf("reasons = %v, want a no-progress trigger", got)
+	}
+}
+
+func TestMonitorStopsWithSession(t *testing.T) {
+	e := sim.NewEngine(1)
+	p, _ := newSession(e, 5e6, 10*time.Second)
+	NewMonitor(e, p, MonitorConfig{}, nil)
+	e.Run(time.Minute)
+	if !p.Done() {
+		t.Fatal("session should finish")
+	}
+	// After completion the monitor's ticker self-cancels; the engine
+	// must drain (no immortal events).
+	if left := e.Len(); left != 0 {
+		t.Errorf("%d events still pending after session end", left)
+	}
+}
+
+func TestMonitorStopDetaches(t *testing.T) {
+	e := sim.NewEngine(1)
+	p, conn := newSession(e, 1e6, 10*time.Minute)
+	fired := 0
+	m := NewMonitor(e, p, MonitorConfig{}, func(*Monitor, Reason) { fired++ })
+	e.Schedule(5*time.Second, func(*sim.Engine) {
+		m.Stop()
+		conn.rate = 1e3 // would trigger if still attached
+	})
+	e.Run(time.Minute)
+	if fired != 0 {
+		t.Errorf("stopped monitor fired %d times", fired)
+	}
+	if m.Player() != p {
+		t.Error("Player accessor wrong")
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	if ReasonBuffering.String() != "buffering" || ReasonNoProgress.String() != "no-progress" {
+		t.Error("reason strings wrong")
+	}
+	if Reason(42).String() != "unknown" {
+		t.Error("unknown reason string wrong")
+	}
+}

@@ -1,0 +1,314 @@
+package control
+
+import (
+	"testing"
+
+	"eona/internal/core"
+	"eona/internal/isp"
+	"eona/internal/netsim"
+	"eona/internal/stability"
+)
+
+func twoCDNs() []CDNStat {
+	return []CDNStat{
+		{Name: "cdnX", Score: 0, ServingCapacityBps: 500e6},
+		{Name: "cdnY", Score: 0, ServingCapacityBps: 80e6},
+	}
+}
+
+func TestBaselineAppPStaysWhenHealthy(t *testing.T) {
+	p := &BaselineAppP{Threshold: 60}
+	dec := p.Decide(AppPObs{Current: "cdnX", Score: 80, CDNs: twoCDNs()})
+	if dec.CDN != "cdnX" || dec.BitrateCapBps != 0 {
+		t.Errorf("decision = %+v, want stay uncapped", dec)
+	}
+}
+
+func TestBaselineAppPRotatesWhenDegraded(t *testing.T) {
+	p := &BaselineAppP{Threshold: 60}
+	dec := p.Decide(AppPObs{Current: "cdnX", Score: 30, CDNs: twoCDNs()})
+	if dec.CDN != "cdnY" {
+		t.Errorf("decision = %+v, want rotate to cdnY", dec)
+	}
+	// And wraps around.
+	dec = p.Decide(AppPObs{Current: "cdnY", Score: 30, CDNs: twoCDNs()})
+	if dec.CDN != "cdnX" {
+		t.Errorf("decision = %+v, want wrap to cdnX", dec)
+	}
+}
+
+func TestBaselineAppPSingleCDNNeverSwitches(t *testing.T) {
+	p := &BaselineAppP{Threshold: 60}
+	dec := p.Decide(AppPObs{Current: "cdnX", Score: 0, CDNs: twoCDNs()[:1]})
+	if dec.CDN != "cdnX" {
+		t.Errorf("single-CDN decision = %+v", dec)
+	}
+}
+
+func i2aAccessCongested(cap float64) *I2AView {
+	return &I2AView{
+		Peering: []core.PeeringInfo{
+			{PeeringID: "B", CDN: "cdnX", Congestion: netsim.CongestionNone, CapacityBps: 100e6},
+			{PeeringID: "C", CDN: "cdnY", Congestion: netsim.CongestionNone, CapacityBps: 400e6},
+		},
+		Attribution: map[string]core.Attribution{
+			"cdnX": {CDN: "cdnX", Segment: core.SegmentAccess, Level: netsim.CongestionSevere, SuggestedCapBps: cap},
+		},
+	}
+}
+
+func TestEONAAppPCapsOnAccessCongestion(t *testing.T) {
+	// Figure 3: degraded QoE, bottleneck is the access network → cap
+	// bitrate, do NOT switch CDN.
+	p := &EONAAppP{Threshold: 60, CapHeadroom: 0.9}
+	dec := p.Decide(AppPObs{
+		Current: "cdnX", Score: 20, DemandBps: 150e6,
+		CDNs: twoCDNs(), I2A: i2aAccessCongested(2e6),
+	})
+	if dec.CDN != "cdnX" {
+		t.Errorf("switched CDN under access congestion: %+v", dec)
+	}
+	if dec.BitrateCapBps != 1.8e6 {
+		t.Errorf("cap = %v, want 0.9×2e6", dec.BitrateCapBps)
+	}
+}
+
+func TestEONAAppPKeepsCapWhileAccessCongested(t *testing.T) {
+	// Healthy score but the InfP still reports access congestion: keep
+	// the cap (lifting it would re-congest — the stable fixed point).
+	p := &EONAAppP{Threshold: 60}
+	dec := p.Decide(AppPObs{
+		Current: "cdnX", Score: 85,
+		CDNs: twoCDNs(), I2A: i2aAccessCongested(2e6),
+	})
+	if dec.BitrateCapBps != 2e6 {
+		t.Errorf("cap = %v, want 2e6 held", dec.BitrateCapBps)
+	}
+}
+
+func TestEONAAppPUncapsWhenClear(t *testing.T) {
+	p := &EONAAppP{Threshold: 60}
+	view := &I2AView{Attribution: map[string]core.Attribution{
+		"cdnX": {CDN: "cdnX", Segment: core.SegmentNone},
+	}}
+	dec := p.Decide(AppPObs{Current: "cdnX", Score: 85, CDNs: twoCDNs(), I2A: view})
+	if dec.BitrateCapBps != 0 {
+		t.Errorf("cap = %v, want lifted", dec.BitrateCapBps)
+	}
+}
+
+func TestEONAAppPStaysOnPeeringCongestionWithAlternative(t *testing.T) {
+	// Figure 5 fix: peering congested, but the ISP has another peering
+	// for this CDN with capacity → attribute to peering, stay.
+	view := &I2AView{
+		Peering: []core.PeeringInfo{
+			{PeeringID: "B", CDN: "cdnX", Congestion: netsim.CongestionSevere, CapacityBps: 100e6, Current: true},
+			{PeeringID: "C", CDN: "cdnX", Congestion: netsim.CongestionNone, CapacityBps: 400e6},
+			{PeeringID: "C", CDN: "cdnY", Congestion: netsim.CongestionNone, CapacityBps: 400e6},
+		},
+		Attribution: map[string]core.Attribution{
+			"cdnX": {CDN: "cdnX", Segment: core.SegmentPeering, Level: netsim.CongestionSevere},
+		},
+	}
+	p := &EONAAppP{Threshold: 60}
+	dec := p.Decide(AppPObs{Current: "cdnX", Score: 20, DemandBps: 150e6, CDNs: twoCDNs(), I2A: view})
+	if dec.CDN != "cdnX" {
+		t.Errorf("switched CDN despite viable alternative peering: %+v", dec)
+	}
+}
+
+func TestEONAAppPSwitchesWhenCDNIsTheProblem(t *testing.T) {
+	view := &I2AView{
+		Peering: []core.PeeringInfo{
+			{PeeringID: "B", CDN: "cdnX", Congestion: netsim.CongestionNone, CapacityBps: 100e6},
+			{PeeringID: "C", CDN: "cdnY", Congestion: netsim.CongestionNone, CapacityBps: 400e6},
+		},
+		Attribution: map[string]core.Attribution{
+			"cdnX": {CDN: "cdnX", Segment: core.SegmentCDN, Level: netsim.CongestionSevere},
+		},
+	}
+	cdns := []CDNStat{
+		{Name: "cdnX", Score: 20, ServingCapacityBps: 500e6},
+		{Name: "cdnY", Score: 75, ServingCapacityBps: 500e6},
+	}
+	p := &EONAAppP{Threshold: 60}
+	dec := p.Decide(AppPObs{Current: "cdnX", Score: 20, DemandBps: 50e6, CDNs: cdns, I2A: view})
+	if dec.CDN != "cdnY" {
+		t.Errorf("did not switch away from a broken CDN: %+v", dec)
+	}
+}
+
+func TestEONAAppPAvoidsUndersizedCDN(t *testing.T) {
+	// The Figure 5 trap: CDN Y cannot absorb the demand; EONA AppP knows
+	// its contracted capacity and refuses the pointless switch.
+	view := &I2AView{
+		Peering: []core.PeeringInfo{
+			{PeeringID: "C", CDN: "cdnY", Congestion: netsim.CongestionNone, CapacityBps: 400e6},
+		},
+		Attribution: map[string]core.Attribution{
+			"cdnX": {CDN: "cdnX", Segment: core.SegmentCDN, Level: netsim.CongestionSevere},
+		},
+	}
+	p := &EONAAppP{Threshold: 60}
+	dec := p.Decide(AppPObs{Current: "cdnX", Score: 20, DemandBps: 150e6, CDNs: twoCDNs(), I2A: view})
+	if dec.CDN != "cdnX" {
+		t.Errorf("switched to undersized CDN: %+v", dec)
+	}
+}
+
+func TestEONAAppPHysteresisBlocksMarginalSwitch(t *testing.T) {
+	view := &I2AView{
+		Peering: []core.PeeringInfo{
+			{PeeringID: "B", CDN: "cdnX", Congestion: netsim.CongestionNone, CapacityBps: 400e6},
+			{PeeringID: "C", CDN: "cdnY", Congestion: netsim.CongestionNone, CapacityBps: 400e6},
+		},
+		Attribution: map[string]core.Attribution{
+			"cdnX": {CDN: "cdnX", Segment: core.SegmentCDN},
+		},
+	}
+	cdns := []CDNStat{
+		{Name: "cdnX", Score: 55, ServingCapacityBps: 500e6},
+		{Name: "cdnY", Score: 58, ServingCapacityBps: 500e6}, // only marginally better
+	}
+	h := &stability.Hysteresis{Margin: 0.2}
+	h.Decide(0, "cdnX", 55) // incumbent
+	p := &EONAAppP{Threshold: 60, Hysteresis: h}
+	dec := p.Decide(AppPObs{Current: "cdnX", Score: 55, CDNs: cdns, I2A: view})
+	if dec.CDN != "cdnX" {
+		t.Errorf("hysteresis failed to block marginal switch: %+v", dec)
+	}
+}
+
+func TestEONAAppPWithoutViewDegradesToBaseline(t *testing.T) {
+	p := &EONAAppP{Threshold: 60}
+	dec := p.Decide(AppPObs{Current: "cdnX", Score: 20, CDNs: twoCDNs()})
+	if dec.CDN != "cdnY" {
+		t.Errorf("nil-view fallback = %+v, want baseline rotation", dec)
+	}
+}
+
+func infpObs(utilB, utilC float64, egress string) InfPObs {
+	return InfPObs{
+		Peerings: []isp.LinkReport{
+			{PeeringID: "B", Utilization: utilB, CapacityBps: 100e6, HeadroomBps: (1 - utilB) * 100e6},
+			{PeeringID: "C", Utilization: utilC, CapacityBps: 400e6, HeadroomBps: (1 - utilC) * 400e6},
+		},
+		Egress: map[string]string{"cdnX": egress},
+		Reach:  map[string][]string{"cdnX": {"B", "C"}},
+	}
+}
+
+func TestBaselineInfPEvacuatesCongestedPreferred(t *testing.T) {
+	p := &BaselineInfP{HighWater: 0.9, LowWater: 0.5}
+	dec := p.Decide(infpObs(0.99, 0.2, "B"))
+	if dec.Egress["cdnX"] != "C" {
+		t.Errorf("egress = %v, want evacuation to C", dec.Egress)
+	}
+}
+
+func TestBaselineInfPFlipsBackWhenPreferredDrains(t *testing.T) {
+	// The oscillation mechanism: B drained (because the AppP left), so
+	// cost preference pulls traffic back.
+	p := &BaselineInfP{HighWater: 0.9, LowWater: 0.5}
+	dec := p.Decide(infpObs(0.05, 0.4, "C"))
+	if dec.Egress["cdnX"] != "B" {
+		t.Errorf("egress = %v, want flip back to B", dec.Egress)
+	}
+}
+
+func TestBaselineInfPHoldsInBand(t *testing.T) {
+	p := &BaselineInfP{HighWater: 0.9, LowWater: 0.5}
+	dec := p.Decide(infpObs(0.7, 0.2, "B"))
+	if dec.Egress["cdnX"] != "B" {
+		t.Errorf("egress = %v, want hold at B", dec.Egress)
+	}
+}
+
+func TestEONAInfPSizesEgressToDemand(t *testing.T) {
+	p := &EONAInfP{Margin: 0.1, HighWater: 0.9}
+	obs := infpObs(0.0, 0.0, "B") // B currently idle...
+	obs.A2I = &A2IView{Traffic: []core.TrafficEstimate{
+		{AppP: "vod", CDN: "cdnX", VolumeBps: 150e6}, // ...but demand is 150 Mbps
+	}}
+	dec := p.Decide(obs)
+	if dec.Egress["cdnX"] != "C" {
+		t.Errorf("egress = %v, want C (B cannot fit 150e6×1.1)", dec.Egress)
+	}
+}
+
+func TestEONAInfPSticksWhenCurrentFits(t *testing.T) {
+	p := &EONAInfP{Margin: 0.1, HighWater: 0.9}
+	obs := infpObs(0.0, 0.3, "C")
+	obs.A2I = &A2IView{Traffic: []core.TrafficEstimate{
+		{AppP: "vod", CDN: "cdnX", VolumeBps: 150e6},
+	}}
+	// Even though B (preferred) is idle, demand doesn't fit B: stay on C.
+	dec := p.Decide(obs)
+	if dec.Egress["cdnX"] != "C" {
+		t.Errorf("egress = %v, want stick with C", dec.Egress)
+	}
+}
+
+func TestEONAInfPPrefersCheapWhenItFits(t *testing.T) {
+	p := &EONAInfP{Margin: 0.1, HighWater: 0.9}
+	obs := infpObs(0.0, 0.3, "C")
+	obs.A2I = &A2IView{Traffic: []core.TrafficEstimate{
+		{AppP: "vod", CDN: "cdnX", VolumeBps: 50e6}, // fits B (100e6)
+	}}
+	dec := p.Decide(obs)
+	if dec.Egress["cdnX"] != "C" {
+		// Current is C and C fits: policy sticks (no churn). This is
+		// intentional: stickiness beats cost-chasing for stability.
+		t.Errorf("egress = %v, want stickiness at C", dec.Egress)
+	}
+	// But starting from B, demand fits → stays B (cheap and stable).
+	obs2 := infpObs(0.5, 0.0, "B")
+	obs2.A2I = obs.A2I
+	dec2 := p.Decide(obs2)
+	if dec2.Egress["cdnX"] != "B" {
+		t.Errorf("egress = %v, want stay at B", dec2.Egress)
+	}
+}
+
+func TestEONAInfPOversizedDemandPicksLargest(t *testing.T) {
+	p := &EONAInfP{Margin: 0.1, HighWater: 0.9}
+	obs := infpObs(0.0, 0.0, "B")
+	obs.A2I = &A2IView{Traffic: []core.TrafficEstimate{
+		{AppP: "vod", CDN: "cdnX", VolumeBps: 900e6}, // fits nowhere
+	}}
+	dec := p.Decide(obs)
+	if dec.Egress["cdnX"] != "C" {
+		t.Errorf("egress = %v, want largest option C", dec.Egress)
+	}
+}
+
+func TestEONAInfPNoEstimateFallsBackToUtilization(t *testing.T) {
+	p := &EONAInfP{Margin: 0.1, HighWater: 0.9}
+	obs := infpObs(0.99, 0.1, "B")
+	obs.A2I = &A2IView{} // EONA on, but no estimate for cdnX yet
+	dec := p.Decide(obs)
+	if dec.Egress["cdnX"] != "C" {
+		t.Errorf("egress = %v, want utilization fallback to C", dec.Egress)
+	}
+}
+
+func TestPoliciesAreDeterministic(t *testing.T) {
+	mk := func() string {
+		p := &EONAInfP{Margin: 0.1, HighWater: 0.9}
+		obs := infpObs(0.4, 0.4, "B")
+		obs.Reach = map[string][]string{"cdnX": {"B", "C"}, "cdnY": {"C"}, "cdnZ": {"C", "B"}}
+		obs.Egress = map[string]string{"cdnX": "B", "cdnY": "C", "cdnZ": "B"}
+		obs.A2I = &A2IView{Traffic: []core.TrafficEstimate{
+			{CDN: "cdnX", VolumeBps: 50e6}, {CDN: "cdnZ", VolumeBps: 120e6},
+		}}
+		dec := p.Decide(obs)
+		out := ""
+		for _, k := range []string{"cdnX", "cdnY", "cdnZ"} {
+			out += k + "=" + dec.Egress[k] + ";"
+		}
+		return out
+	}
+	if mk() != mk() {
+		t.Error("policy output not deterministic")
+	}
+}

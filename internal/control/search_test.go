@@ -1,0 +1,153 @@
+package control
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func spaces2x3() []KnobSpace {
+	return []KnobSpace{
+		{Name: "cdn", Options: []string{"X", "Y"}},
+		{Name: "cap", Options: []string{"hi", "mid", "lo"}},
+	}
+}
+
+func TestEnumerateFindsGlobalOptimum(t *testing.T) {
+	eval := func(a Assignment) float64 {
+		s := 0.0
+		if a["cdn"] == "X" {
+			s += 10
+		}
+		if a["cap"] == "mid" {
+			s += 5
+		}
+		return s
+	}
+	best, score, evals := Enumerate(spaces2x3(), eval)
+	if best["cdn"] != "X" || best["cap"] != "mid" || score != 15 {
+		t.Errorf("best = %v score %v", best, score)
+	}
+	if evals != 6 {
+		t.Errorf("evals = %d, want 6", evals)
+	}
+}
+
+func TestEnumerateEmptySpaces(t *testing.T) {
+	_, score, evals := Enumerate(nil, func(Assignment) float64 { return 42 })
+	if score != 42 || evals != 1 {
+		t.Errorf("empty enumerate = %v, %d", score, evals)
+	}
+}
+
+func TestEnumerateEmptyOptionsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty options did not panic")
+		}
+	}()
+	Enumerate([]KnobSpace{{Name: "bad"}}, func(Assignment) float64 { return 0 })
+}
+
+func TestCoordinateAscentSeparableObjective(t *testing.T) {
+	// Separable objectives are coordinate ascent's best case: it must
+	// find the global optimum with far fewer evaluations.
+	spaces := []KnobSpace{
+		{Name: "a", Options: []string{"0", "1", "2", "3"}},
+		{Name: "b", Options: []string{"0", "1", "2", "3"}},
+		{Name: "c", Options: []string{"0", "1", "2", "3"}},
+	}
+	eval := func(as Assignment) float64 {
+		s := 0.0
+		for _, v := range as {
+			x, _ := strconv.Atoi(v)
+			s += float64(x)
+		}
+		return s
+	}
+	got, score, evals := CoordinateAscent(spaces, eval, nil, 0)
+	if score != 9 || got["a"] != "3" || got["b"] != "3" || got["c"] != "3" {
+		t.Errorf("ascent = %v score %v", got, score)
+	}
+	_, _, exhaustive := Enumerate(spaces, eval)
+	if evals >= exhaustive {
+		t.Errorf("ascent evals %d not below exhaustive %d", evals, exhaustive)
+	}
+}
+
+func TestCoordinateAscentRespectsStart(t *testing.T) {
+	spaces := spaces2x3()
+	eval := func(a Assignment) float64 {
+		if a["cdn"] == "Y" && a["cap"] == "lo" {
+			return 100
+		}
+		return 1
+	}
+	start := Assignment{"cdn": "Y", "cap": "lo"}
+	got, score, _ := CoordinateAscent(spaces, eval, start, 0)
+	if score != 100 || got["cdn"] != "Y" {
+		t.Errorf("ascent abandoned the provided optimum: %v %v", got, score)
+	}
+	// start is not mutated.
+	if start["cdn"] != "Y" || start["cap"] != "lo" {
+		t.Error("start assignment mutated")
+	}
+}
+
+func TestCoordinateAscentCanStickAtLocalOptimum(t *testing.T) {
+	// A genuine local optimum: from (0,1) every single-knob move is
+	// strictly worse, while the global optimum (1,0) needs both knobs
+	// to move together — documenting the known limitation that E14
+	// quantifies (it does not bite in the EONA scenarios, where shared
+	// information makes the objective near-separable).
+	spaces := []KnobSpace{
+		{Name: "a", Options: []string{"0", "1"}},
+		{Name: "b", Options: []string{"0", "1"}},
+	}
+	table := map[string]float64{"0,1": 5, "1,1": 4, "0,0": 4, "1,0": 10}
+	eval := func(as Assignment) float64 { return table[as["a"]+","+as["b"]] }
+	got, score, _ := CoordinateAscent(spaces, eval, Assignment{"a": "0", "b": "1"}, 0)
+	if score != 5 {
+		t.Errorf("expected the local optimum (5), got %v at %v", score, got)
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	a := Assignment{"k": "v"}
+	b := a.Clone()
+	b["k"] = "w"
+	if a["k"] != "v" {
+		t.Error("Clone did not copy")
+	}
+	var nilA Assignment
+	if c := nilA.Clone(); c == nil || len(c) != 0 {
+		t.Error("nil Clone should yield empty map")
+	}
+}
+
+// Property: ascent never returns a score below its starting evaluation,
+// and never exceeds the exhaustive optimum.
+func TestQuickAscentBounds(t *testing.T) {
+	f := func(weights [6]int8, startA, startB uint8) bool {
+		spaces := []KnobSpace{
+			{Name: "a", Options: []string{"0", "1", "2"}},
+			{Name: "b", Options: []string{"0", "1"}},
+		}
+		eval := func(as Assignment) float64 {
+			ai, _ := strconv.Atoi(as["a"])
+			bi, _ := strconv.Atoi(as["b"])
+			return float64(weights[ai*2+bi])
+		}
+		start := Assignment{
+			"a": strconv.Itoa(int(startA) % 3),
+			"b": strconv.Itoa(int(startB) % 2),
+		}
+		startScore := eval(start)
+		_, got, _ := CoordinateAscent(spaces, eval, start, 0)
+		_, best, _ := Enumerate(spaces, eval)
+		return got >= startScore && got <= best
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

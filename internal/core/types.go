@@ -1,0 +1,172 @@
+// Package core defines EONA proper: the two information-sharing interfaces
+// the paper introduces between application providers (AppPs) and
+// infrastructure providers (InfPs), and the §4 recipe for deriving them.
+//
+//   - EONA-A2I (application → infrastructure): client-side experience
+//     measurements with attributes, plus per-CDN traffic volume estimates
+//     (types QoERecord, QoESummary, TrafficEstimate; producer Collector).
+//   - EONA-I2A (infrastructure → application): hints about infrastructure
+//     decisions and state — peering points with congestion/headroom,
+//     bottleneck attribution, and alternative-server hints (types
+//     PeeringInfo, Attribution, ServerHint).
+//
+// Both interfaces carry *information*, never control: there is deliberately
+// no type in this package that lets one party set another party's knob.
+// Staleness — the §5 challenge that interface data is inherently delayed —
+// is modeled by Delayed, which every EONA control loop in internal/control
+// reads through.
+package core
+
+import (
+	"time"
+
+	"eona/internal/netsim"
+	"eona/internal/qoe"
+)
+
+// QoERecord is one session's client-side measurement with the attributes
+// the paper names for A2I export: "critical application-centric experience
+// measures collected from client-side measurements together with relevant
+// attributes (e.g., the client ISP, and the server location)".
+type QoERecord struct {
+	SessionID string        `json:"session_id"`
+	Timestamp time.Duration `json:"timestamp"`
+
+	// Attributes.
+	AppP      string `json:"appp"`
+	ClientISP string `json:"client_isp"`
+	CDN       string `json:"cdn"`
+	Cluster   string `json:"cluster"`
+
+	// Experience measures.
+	Score           float64       `json:"score"`
+	BufferingRatio  float64       `json:"buffering_ratio"`
+	AvgBitrateBps   float64       `json:"avg_bitrate_bps"`
+	StartupDelay    time.Duration `json:"startup_delay"`
+	PlayTime        time.Duration `json:"play_time"`
+	BitrateSwitches int           `json:"bitrate_switches"`
+	CDNSwitches     int           `json:"cdn_switches"`
+	Abandoned       bool          `json:"abandoned"`
+}
+
+// RecordFrom flattens player metrics into a QoERecord using the given
+// scoring model.
+func RecordFrom(model qoe.Model, m qoe.SessionMetrics, sessionID, appP, clientISP, cdnName, cluster string, at time.Duration) QoERecord {
+	return QoERecord{
+		SessionID:       sessionID,
+		Timestamp:       at,
+		AppP:            appP,
+		ClientISP:       clientISP,
+		CDN:             cdnName,
+		Cluster:         cluster,
+		Score:           model.Score(m),
+		BufferingRatio:  m.BufferingRatio(),
+		AvgBitrateBps:   m.AvgBitrate,
+		StartupDelay:    m.StartupDelay,
+		PlayTime:        m.PlayTime,
+		BitrateSwitches: m.BitrateSwitches,
+		CDNSwitches:     m.CDNSwitches,
+		Abandoned:       m.Abandoned,
+	}
+}
+
+// SummaryKey identifies one A2I aggregation group.
+type SummaryKey struct {
+	ClientISP string `json:"client_isp"`
+	CDN       string `json:"cdn"`
+	Cluster   string `json:"cluster"`
+}
+
+// QoESummary is the aggregated A2I export for one group: enough for an InfP
+// to see how its subscribers experience each CDN, without any per-user
+// information.
+type QoESummary struct {
+	Key                SummaryKey `json:"key"`
+	Sessions           float64    `json:"sessions"` // float: may be noised
+	MeanScore          float64    `json:"mean_score"`
+	MeanBufferingRatio float64    `json:"mean_buffering_ratio"`
+	MeanBitrateBps     float64    `json:"mean_bitrate_bps"`
+	MeanStartupSec     float64    `json:"mean_startup_sec"`
+	AbandonmentRate    float64    `json:"abandonment_rate"`
+}
+
+// TrafficEstimate is the A2I item from the §4 illustrative example: "an
+// estimate of the total volume of traffic intended to different CDNs so
+// that the InfP can decide a suitable traffic split across peering points".
+type TrafficEstimate struct {
+	AppP      string  `json:"appp"`
+	CDN       string  `json:"cdn"`
+	VolumeBps float64 `json:"volume_bps"`
+	Sessions  float64 `json:"sessions"`
+}
+
+// BottleneckSegment says where on the delivery path an InfP locates the
+// problem — the I2A attribution that lets an AppP distinguish "the ISP
+// access is congested, lower the bitrate" (Figure 3) from "the CDN server
+// is the problem, switch server" (§2).
+type BottleneckSegment int
+
+const (
+	// SegmentNone: no bottleneck observed.
+	SegmentNone BottleneckSegment = iota
+	// SegmentAccess: the ISP's shared access/aggregation network.
+	SegmentAccess
+	// SegmentPeering: the egress/peering point toward the CDN.
+	SegmentPeering
+	// SegmentCDN: beyond the ISP — the CDN's servers or upstream.
+	SegmentCDN
+)
+
+// String returns the lowercase segment name.
+func (b BottleneckSegment) String() string {
+	switch b {
+	case SegmentNone:
+		return "none"
+	case SegmentAccess:
+		return "access"
+	case SegmentPeering:
+		return "peering"
+	case SegmentCDN:
+		return "cdn"
+	default:
+		return "unknown"
+	}
+}
+
+// Attribution is the I2A congestion-attribution hint.
+type Attribution struct {
+	// CDN is the CDN whose delivery path this attribution describes.
+	CDN     string                 `json:"cdn"`
+	Segment BottleneckSegment      `json:"segment"`
+	Level   netsim.CongestionLevel `json:"level"`
+	// SuggestedCapBps, when positive, is the per-session bitrate the
+	// InfP estimates its access network can sustain — the actionable
+	// form of "switch down bitrate to make the ISP less congested".
+	SuggestedCapBps float64 `json:"suggested_cap_bps"`
+}
+
+// PeeringInfo is the I2A peering hint from the §4 example: the InfP
+// "inform[s] the AppPs of its multiple peering points for the different
+// CDNs and the congestion level on each peering point".
+type PeeringInfo struct {
+	PeeringID   string                 `json:"peering_id"`
+	CDN         string                 `json:"cdn"`
+	Congestion  netsim.CongestionLevel `json:"congestion"`
+	HeadroomBps float64                `json:"headroom_bps"`
+	CapacityBps float64                `json:"capacity_bps"`
+	// Current marks the peering point the ISP's TE currently uses for
+	// this CDN — "the ISP's current decision" the oscillation fix needs.
+	Current bool `json:"current"`
+}
+
+// ServerHint is the I2A alternative-server hint from §2: "if the CDN can
+// provide hints on alternative servers, the video player can reconnect to a
+// different server and continue to play".
+type ServerHint struct {
+	ServerID string  `json:"server_id"`
+	Cluster  string  `json:"cluster"`
+	Load     float64 `json:"load"`
+	// CacheLikely reports whether the requested content is likely cached
+	// at the hinted server's cluster.
+	CacheLikely bool `json:"cache_likely"`
+}

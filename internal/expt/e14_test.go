@@ -1,0 +1,49 @@
+package expt
+
+import "testing"
+
+func TestE14AscentNearOptimalWithFarFewerEvals(t *testing.T) {
+	r := RunE14(1)
+	if len(r.Points) < 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.ExhaustiveEvals != p.SpaceSize {
+			t.Errorf("R=%d: exhaustive evals %d != space %d", p.Regions, p.ExhaustiveEvals, p.SpaceSize)
+		}
+		if p.AscentScore > p.ExhaustiveScore+1e-9 {
+			t.Errorf("R=%d: ascent (%v) exceeds exhaustive optimum (%v)",
+				p.Regions, p.AscentScore, p.ExhaustiveScore)
+		}
+		if p.AscentScore < 0.95*p.ExhaustiveScore {
+			t.Errorf("R=%d: ascent (%v) below 95%% of optimum (%v)",
+				p.Regions, p.AscentScore, p.ExhaustiveScore)
+		}
+	}
+	// The evaluation-count gap must widen combinatorially.
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	gapFirst := float64(first.ExhaustiveEvals) / float64(first.AscentEvals)
+	gapLast := float64(last.ExhaustiveEvals) / float64(last.AscentEvals)
+	if gapLast < 10*gapFirst {
+		t.Errorf("eval gap did not widen combinatorially: %v → %v", gapFirst, gapLast)
+	}
+	if last.AscentEvals >= last.ExhaustiveEvals/100 {
+		t.Errorf("at R=%d ascent used %d evals vs %d exhaustive — gap too small",
+			last.Regions, last.AscentEvals, last.ExhaustiveEvals)
+	}
+}
+
+func TestE14Deterministic(t *testing.T) {
+	a, b := RunE14(1), RunE14(2) // seed-independent by construction
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("E14 not deterministic")
+		}
+	}
+}
+
+func TestE14TableRenders(t *testing.T) {
+	if s := RunE14(1).Table().String(); !contains(s, "exhaustive evals") {
+		t.Error("table malformed")
+	}
+}

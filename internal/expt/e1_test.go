@@ -1,0 +1,84 @@
+package expt
+
+import "testing"
+
+// E1 runs a ~1.5s fleet simulation; share one result across assertions.
+var e1Cached *E1Pair
+
+func e1(t *testing.T) E1Pair {
+	t.Helper()
+	if e1Cached == nil {
+		r := RunE1(1)
+		e1Cached = &r
+	}
+	return *e1Cached
+}
+
+func TestE1ArmsSeeSameWorkload(t *testing.T) {
+	r := e1(t)
+	if r.Baseline.Sessions == 0 {
+		t.Fatal("no scoreable sessions")
+	}
+	if r.Baseline.Sessions != r.EONA.Sessions {
+		t.Errorf("session counts differ: %d vs %d", r.Baseline.Sessions, r.EONA.Sessions)
+	}
+}
+
+func TestE1BaselineSwitchesFutilely(t *testing.T) {
+	r := e1(t)
+	if r.Baseline.CDNSwitchesPerSession <= 0.1 {
+		t.Errorf("baseline switches/session = %v, want visible churn", r.Baseline.CDNSwitchesPerSession)
+	}
+	if r.EONA.CDNSwitchesPerSession != 0 {
+		t.Errorf("EONA switches/session = %v, want 0 (attribution suppresses them)", r.EONA.CDNSwitchesPerSession)
+	}
+	// Despite all that switching, the baseline still buffers more —
+	// the paper's 'switched CDNs but clients still see very high
+	// buffering'.
+	if r.Baseline.MeanBufRatio <= 2*r.EONA.MeanBufRatio {
+		t.Errorf("baseline buffering (%v) not clearly above EONA (%v)",
+			r.Baseline.MeanBufRatio, r.EONA.MeanBufRatio)
+	}
+}
+
+func TestE1EONAImprovesExperience(t *testing.T) {
+	r := e1(t)
+	if r.EONA.MeanScore <= r.Baseline.MeanScore {
+		t.Errorf("EONA score (%v) not above baseline (%v)", r.EONA.MeanScore, r.Baseline.MeanScore)
+	}
+	if r.EONA.EngagementMinutes <= r.Baseline.EngagementMinutes {
+		t.Errorf("EONA engagement (%v) not above baseline (%v)",
+			r.EONA.EngagementMinutes, r.Baseline.EngagementMinutes)
+	}
+	if r.EONA.CapEpochs == 0 {
+		t.Error("EONA cap never engaged — scenario not stressing the access link")
+	}
+}
+
+func TestE1BitrateTradeoffBounded(t *testing.T) {
+	// The cap trades a little bitrate for a lot of smoothness; it must
+	// not collapse bitrate (that would be the wrong lesson).
+	r := e1(t)
+	if r.EONA.MeanBitrateBps < 0.85*r.Baseline.MeanBitrateBps {
+		t.Errorf("EONA bitrate (%v) collapsed vs baseline (%v)",
+			r.EONA.MeanBitrateBps, r.Baseline.MeanBitrateBps)
+	}
+}
+
+func TestE1TableRenders(t *testing.T) {
+	r := e1(t)
+	s := r.Table().String()
+	for _, want := range []string{"baseline (switch CDNs)", "EONA", "buffering ratio"} {
+		if !contains(s, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestE1Deterministic(t *testing.T) {
+	a := RunE1Arm(E1Config{Seed: 5, Horizon: 0})
+	b := RunE1Arm(E1Config{Seed: 5})
+	if a.MeanScore != b.MeanScore || a.Sessions != b.Sessions {
+		t.Error("E1 arm not deterministic for equal seeds")
+	}
+}

@@ -1,0 +1,46 @@
+package expt
+
+import "testing"
+
+func TestE2SensitivityRegime(t *testing.T) {
+	points := RunE2Sensitivity(1)
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	byDemand := map[float64]E2SensitivityPoint{}
+	for _, p := range points {
+		byDemand[p.DemandBps] = p
+	}
+	// Well below peering B's capacity there is nothing to oscillate
+	// about.
+	if byDemand[50e6].BaselineOscillates {
+		t.Error("baseline oscillated at light load")
+	}
+	// At exactly the TE high-water boundary (90 Mbps = 0.9×B) the
+	// cost-greedy ISP may flap egresses, but harmlessly: both paths fit
+	// the load, so the flapping must not cost QoE.
+	if byDemand[90e6].BaselineScore < 99 {
+		t.Errorf("boundary flapping cost QoE: %v", byDemand[90e6].BaselineScore)
+	}
+	// In the paper's regime (demand > B, > Y) the cycle appears.
+	for _, d := range []float64{110e6, 150e6, 250e6} {
+		if !byDemand[d].BaselineOscillates {
+			t.Errorf("baseline did not oscillate at %.0f Mbps", d/1e6)
+		}
+	}
+	// EONA dominates or ties everywhere (small tolerance for the
+	// one-epoch initial transient).
+	for _, p := range points {
+		if p.EONAScore < p.BaselineScore-1 {
+			t.Errorf("at %.0f Mbps EONA (%v) fell below baseline (%v)",
+				p.DemandBps/1e6, p.EONAScore, p.BaselineScore)
+		}
+	}
+}
+
+func TestE2SensitivityTableRenders(t *testing.T) {
+	s := SensitivityTable(RunE2Sensitivity(1)).String()
+	if !contains(s, "oscillation regime") || !contains(s, "350") {
+		t.Errorf("table malformed:\n%s", s)
+	}
+}

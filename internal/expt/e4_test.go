@@ -1,0 +1,89 @@
+package expt
+
+import "testing"
+
+var e4Cached *E4Pair
+
+func e4(t *testing.T) E4Pair {
+	t.Helper()
+	if e4Cached == nil {
+		r := RunE4(1)
+		e4Cached = &r
+	}
+	return *e4Cached
+}
+
+func TestE4FailureAffectsSameCohort(t *testing.T) {
+	r := e4(t)
+	if r.Baseline.Affected == 0 {
+		t.Fatal("no sessions affected by the failure")
+	}
+	if r.Baseline.Affected != r.EONA.Affected {
+		t.Errorf("cohorts differ: %d vs %d", r.Baseline.Affected, r.EONA.Affected)
+	}
+}
+
+func TestE4SwitchKinds(t *testing.T) {
+	r := e4(t)
+	// Baseline can only do whole-CDN switches; EONA does intra-CDN
+	// server switches.
+	if r.Baseline.CohortCDNSwitches < 0.9 {
+		t.Errorf("baseline CDN switches = %v, want ≈1 per affected session", r.Baseline.CohortCDNSwitches)
+	}
+	if r.Baseline.CohortServerSwitches != 0 {
+		t.Errorf("baseline server switches = %v, want 0 (no hints available)", r.Baseline.CohortServerSwitches)
+	}
+	if r.EONA.CohortServerSwitches < 0.9 {
+		t.Errorf("EONA server switches = %v, want ≈1", r.EONA.CohortServerSwitches)
+	}
+	if r.EONA.CohortCDNSwitches != 0 {
+		t.Errorf("EONA CDN switches = %v, want 0", r.EONA.CohortCDNSwitches)
+	}
+}
+
+func TestE4EONALessDisruption(t *testing.T) {
+	r := e4(t)
+	if r.EONA.CohortMeanStallSec >= r.Baseline.CohortMeanStallSec {
+		t.Errorf("EONA stall (%v) not below baseline (%v)",
+			r.EONA.CohortMeanStallSec, r.Baseline.CohortMeanStallSec)
+	}
+	if r.EONA.CohortMeanScore <= r.Baseline.CohortMeanScore {
+		t.Errorf("EONA cohort score (%v) not above baseline (%v)",
+			r.EONA.CohortMeanScore, r.Baseline.CohortMeanScore)
+	}
+}
+
+func TestE4Retention(t *testing.T) {
+	r := e4(t)
+	// "By retaining the traffic the CDN can retain its share of revenue."
+	if r.EONA.CDNXRetention != 1 {
+		t.Errorf("EONA retention = %v, want 1.0", r.EONA.CDNXRetention)
+	}
+	if r.Baseline.CDNXRetention != 0 {
+		t.Errorf("baseline retention = %v, want 0 (all failovers leave)", r.Baseline.CDNXRetention)
+	}
+}
+
+func TestE4ColdMisses(t *testing.T) {
+	r := e4(t)
+	// Baseline failovers land on CDN Y's cold cache and pay origin
+	// fetches; EONA failovers stay behind CDN X's warm cache.
+	if r.Baseline.ColdMisses == 0 {
+		t.Error("baseline produced no cold misses at CDN Y")
+	}
+	if r.EONA.ColdMisses != 0 {
+		t.Errorf("EONA cold misses = %d, want 0", r.EONA.ColdMisses)
+	}
+	if r.EONA.WarmHitRatio < 0.5 {
+		t.Errorf("CDN X warm hit ratio = %v, suspiciously low", r.EONA.WarmHitRatio)
+	}
+}
+
+func TestE4TableRenders(t *testing.T) {
+	s := e4(t).Table().String()
+	for _, want := range []string{"whole-CDN switch", "alternative-server hint", "retention"} {
+		if !contains(s, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"time"
+)
+
+// E6 — §5 "dealing with staleness".
+//
+// Paper claim: "the data exported by the EONA interfaces may have some
+// inherent delay. Thus, the control logics must also be designed to be
+// robust against such staleness or inaccuracies." We run the Figure 5
+// scenario with *time-varying* demand (a slow swell from 60 to 150 Mbps and
+// back) and sweep the interface delay. Fresh interfaces track the swell;
+// stale ones mis-size the egress during the ramps, costing QoE — degrading
+// gracefully toward (but staying above) the EONA-less baseline.
+
+// E6Point is one staleness setting.
+type E6Point struct {
+	Staleness time.Duration
+	Result    Fig5Result
+}
+
+// E6Result holds the sweep plus the no-EONA floor.
+type E6Result struct {
+	Points   []E6Point
+	Baseline Fig5Result
+}
+
+// e6Demand is the swelling offered load: 60 Mbps base, ramping to 150 Mbps
+// between t=30min and t=60min, holding, then back down between 90 and 120.
+func e6Demand(t time.Duration) float64 {
+	const lo, hi = 60e6, 150e6
+	switch {
+	case t < 30*time.Minute:
+		return lo
+	case t < 60*time.Minute:
+		f := float64(t-30*time.Minute) / float64(30*time.Minute)
+		return lo + f*(hi-lo)
+	case t < 90*time.Minute:
+		return hi
+	case t < 120*time.Minute:
+		f := float64(t-90*time.Minute) / float64(30*time.Minute)
+		return hi - f*(hi-lo)
+	default:
+		return lo
+	}
+}
+
+// E6Stalenesses is the swept delay ladder.
+var E6Stalenesses = []time.Duration{
+	0, 30 * time.Second, 2 * time.Minute, 5 * time.Minute, 10 * time.Minute, 20 * time.Minute,
+}
+
+// RunE6 executes the staleness sweep.
+func RunE6(seed int64) E6Result {
+	out := E6Result{}
+	horizon := 150 * time.Minute
+	for _, st := range E6Stalenesses {
+		cfg := Fig5Config{
+			Seed: seed, Horizon: horizon, Demand: e6Demand,
+			AppPMode: EONA, InfPMode: EONA, Staleness: st,
+		}
+		out.Points = append(out.Points, E6Point{Staleness: st, Result: RunFig5(cfg)})
+	}
+	out.Baseline = RunFig5(Fig5Config{
+		Seed: seed, Horizon: horizon, Demand: e6Demand,
+		AppPMode: Baseline, InfPMode: Baseline,
+	})
+	return out
+}
+
+// Table renders the sweep.
+func (r E6Result) Table() *Table {
+	t := &Table{
+		Title:   "E6 (§5): EONA control quality vs interface staleness (swelling demand)",
+		Columns: []string{"interface delay", "mean QoE score", "ISP switches", "AppP switches"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Staleness.String(), Cell(p.Result.MeanScore),
+			Cell(float64(p.Result.ISPSwitches)), Cell(float64(p.Result.AppPSwitches)))
+	}
+	t.AddRow("(no EONA)", Cell(r.Baseline.MeanScore),
+		Cell(float64(r.Baseline.ISPSwitches)), Cell(float64(r.Baseline.AppPSwitches)))
+	t.Notes = append(t.Notes,
+		"paper: 'control logics must also be designed to be robust against such staleness or inaccuracies'")
+	return t
+}

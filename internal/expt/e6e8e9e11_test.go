@@ -1,0 +1,178 @@
+package expt
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestE8LadderMonotone(t *testing.T) {
+	r := RunE8(1)
+	if len(r.Arms) != 4 {
+		t.Fatalf("arms = %d", len(r.Arms))
+	}
+	byName := map[string]Fig5Result{}
+	for _, a := range r.Arms {
+		byName[a.Name] = a.Result
+	}
+	none := byName["none (status quo)"]
+	i2a := byName["I2A only"]
+	a2i := byName["A2I only"]
+	both := byName["narrow two-way (paper)"]
+
+	// The paper's core ordering: any sharing beats none; two-way beats
+	// either one-way arm; everything is bounded by the oracle.
+	if i2a.MeanScore <= none.MeanScore {
+		t.Errorf("I2A-only (%v) should beat none (%v)", i2a.MeanScore, none.MeanScore)
+	}
+	if a2i.MeanScore <= none.MeanScore {
+		t.Errorf("A2I-only (%v) should beat none (%v)", a2i.MeanScore, none.MeanScore)
+	}
+	if both.MeanScore < i2a.MeanScore || both.MeanScore < a2i.MeanScore {
+		t.Errorf("two-way (%v) should dominate one-way arms (%v, %v)",
+			both.MeanScore, i2a.MeanScore, a2i.MeanScore)
+	}
+	for name, res := range byName {
+		if res.MeanScore > r.Oracle+1e-9 {
+			t.Errorf("%s (%v) exceeds oracle (%v)", name, res.MeanScore, r.Oracle)
+		}
+	}
+	// The paper's thesis: the narrow two-way interface is close to the
+	// global controller.
+	if both.MeanScore < 0.9*r.Oracle {
+		t.Errorf("narrow interface (%v) not close to oracle (%v)", both.MeanScore, r.Oracle)
+	}
+	if r.WideSize != 5 {
+		t.Errorf("wide interface size = %d, want 5 (per recipe test)", r.WideSize)
+	}
+}
+
+func TestE8ItemCountsAscend(t *testing.T) {
+	r := RunE8(1)
+	if r.Arms[0].ItemsShared != 0 {
+		t.Error("none arm should share nothing")
+	}
+	if r.Arms[3].ItemsShared != r.Arms[1].ItemsShared+r.Arms[2].ItemsShared {
+		t.Error("two-way items should equal sum of one-way items")
+	}
+	s := r.Table().String()
+	if !contains(s, "oracle") {
+		t.Error("table missing oracle row")
+	}
+}
+
+func TestE6FreshBeatsStale(t *testing.T) {
+	r := RunE6(1)
+	fresh := r.Points[0].Result.MeanScore
+	stalest := r.Points[len(r.Points)-1].Result.MeanScore
+	if fresh <= stalest {
+		t.Errorf("fresh (%v) should beat stalest (%v)", fresh, stalest)
+	}
+	// All EONA points should beat the EONA-less baseline.
+	for _, p := range r.Points {
+		if p.Result.MeanScore <= r.Baseline.MeanScore {
+			t.Errorf("staleness %v: EONA (%v) fell below baseline (%v)",
+				p.Staleness, p.Result.MeanScore, r.Baseline.MeanScore)
+		}
+	}
+}
+
+func TestE6RoughlyMonotone(t *testing.T) {
+	r := RunE6(1)
+	// Allow small non-monotonicities (discrete epochs) but the trend
+	// from 0 to 20min staleness must be downward.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Result.MeanScore > r.Points[i-1].Result.MeanScore+5 {
+			t.Errorf("staleness %v score %v jumped above %v score %v",
+				r.Points[i].Staleness, r.Points[i].Result.MeanScore,
+				r.Points[i-1].Staleness, r.Points[i-1].Result.MeanScore)
+		}
+	}
+	if s := r.Table().String(); !contains(s, "no EONA") {
+		t.Error("table missing baseline row")
+	}
+}
+
+func TestE9SynchronizedWorstAndDampeningHelps(t *testing.T) {
+	r := RunE9(1)
+	first := r.Points[0]              // TE = AppP = 1min: synchronized
+	last := r.Points[len(r.Points)-1] // TE = 32min: today's separation
+	hours := first.Undampened.Config.Horizon.Hours()
+	syncRate := float64(first.Undampened.ISPSwitches+first.Undampened.AppPSwitches) / hours
+	slowRate := float64(last.Undampened.ISPSwitches+last.Undampened.AppPSwitches) / hours
+	if syncRate <= slowRate {
+		t.Errorf("synchronized churn (%v/h) should exceed separated churn (%v/h)", syncRate, slowRate)
+	}
+	// Dampening must cut churn at every period.
+	for _, p := range r.Points {
+		u := p.Undampened.ISPSwitches + p.Undampened.AppPSwitches
+		d := p.Dampened.ISPSwitches + p.Dampened.AppPSwitches
+		if d >= u {
+			t.Errorf("TE %v: dampened switches %d not below undampened %d", p.TEPeriod, d, u)
+		}
+	}
+}
+
+func TestE9TableRenders(t *testing.T) {
+	if s := RunE9(1).Table().String(); !contains(s, "switches/h") {
+		t.Error("table malformed")
+	}
+}
+
+func TestE11ExactIsNoiseFree(t *testing.T) {
+	r := RunE11(1)
+	exact := r.Points[0]
+	if !math.IsInf(exact.Epsilon, 1) {
+		t.Fatal("first point should be exact")
+	}
+	if exact.MeanAbsEstErrBps != 0 {
+		t.Errorf("exact arm has estimate error %v", exact.MeanAbsEstErrBps)
+	}
+	if exact.CongestedEpochs != 0 {
+		t.Errorf("exact arm congested %d epochs, want 0", exact.CongestedEpochs)
+	}
+}
+
+func TestE11HeavyNoiseDegrades(t *testing.T) {
+	r := RunE11(1)
+	exact := r.Points[0].MeanScore
+	heaviest := r.Points[len(r.Points)-1].MeanScore
+	if heaviest >= exact {
+		t.Errorf("heavy noise (%v) should degrade vs exact (%v)", heaviest, exact)
+	}
+	// Light noise (ε=1: scale 3 Mbps on a ~150 Mbps estimate) is ~free.
+	if light := r.Points[1].MeanScore; light < 0.98*exact {
+		t.Errorf("light noise (%v) should be near exact (%v)", light, exact)
+	}
+	// Even heavily-blinded sharing should beat the unshared floor.
+	if heaviest <= r.BaselineScore {
+		t.Errorf("noised sharing (%v) not above no-sharing floor (%v)", heaviest, r.BaselineScore)
+	}
+	// Estimate error must grow as ε shrinks.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].MeanAbsEstErrBps < r.Points[i-1].MeanAbsEstErrBps {
+			t.Errorf("estimate error not increasing at ε=%v", r.Points[i].Epsilon)
+		}
+	}
+}
+
+func TestE11TableRenders(t *testing.T) {
+	if s := RunE11(1).Table().String(); !contains(s, "exact (no noise)") {
+		t.Error("table malformed")
+	}
+}
+
+func TestE6DemandProfile(t *testing.T) {
+	if e6Demand(0) != 60e6 {
+		t.Error("base demand wrong")
+	}
+	if e6Demand(75*time.Minute) != 150e6 {
+		t.Error("peak demand wrong")
+	}
+	if got := e6Demand(45 * time.Minute); math.Abs(got-105e6) > 1e-6 {
+		t.Errorf("mid-ramp = %v, want 105e6", got)
+	}
+	if e6Demand(10*time.Hour) != 60e6 {
+		t.Error("post-swell demand wrong")
+	}
+}

@@ -1,0 +1,98 @@
+package expt
+
+import (
+	"fmt"
+
+	"eona/internal/core"
+)
+
+// E8 — §4 recipe: interface width vs. control quality.
+//
+// Paper claim: the recipe derives a wide interface (everything the global
+// controller's cross-owner optimization touches), then narrows it. The
+// question is how much application quality each narrowing costs relative to
+// the hypothetical global controller. We ladder the Figure 5 scenario
+// through: no sharing → I2A only → A2I only → both (the paper's narrow
+// interface) → global oracle, and also report the recipe's derived
+// interface sizes.
+
+// E8Arm is one rung of the ladder.
+type E8Arm struct {
+	Name string
+	// ItemsShared counts interface attributes exchanged (from the §4
+	// recipe for the Figure 5 use case).
+	ItemsShared int
+	Result      Fig5Result
+}
+
+// E8Result holds all arms.
+type E8Result struct {
+	Arms   []E8Arm
+	Oracle float64
+	// WideSize is the size of the recipe-derived wide interface.
+	WideSize int
+}
+
+// RunE8 executes the interface-width ladder.
+func RunE8(seed int64) E8Result {
+	iface, err := core.Figure5Recipe().WideInterface()
+	if err != nil {
+		panic(fmt.Sprintf("expt: figure-5 recipe invalid: %v", err))
+	}
+	a2iItems := 0
+	i2aItems := 0
+	for _, it := range iface.Items {
+		if it.Direction == core.A2I {
+			a2iItems++
+		} else {
+			i2aItems++
+		}
+	}
+
+	arms := []struct {
+		name        string
+		appP, infP  Mode
+		itemsShared int
+	}{
+		{"none (status quo)", Baseline, Baseline, 0},
+		{"I2A only", EONA, Baseline, i2aItems},
+		{"A2I only", Baseline, EONA, a2iItems},
+		{"narrow two-way (paper)", EONA, EONA, a2iItems + i2aItems},
+	}
+	out := E8Result{WideSize: iface.Size()}
+	for _, a := range arms {
+		cfg := Fig5Config{Seed: seed, AppPMode: a.appP, InfPMode: a.infP}
+		out.Arms = append(out.Arms, E8Arm{
+			Name:        a.name,
+			ItemsShared: a.itemsShared,
+			Result:      RunFig5(cfg),
+		})
+	}
+	out.Oracle = Fig5Oracle(Fig5Config{Seed: seed})
+	return out
+}
+
+// Table renders the ladder.
+func (r E8Result) Table() *Table {
+	t := &Table{
+		Title:   "E8 (§4 recipe): interface width vs control quality",
+		Columns: []string{"interface", "attrs shared", "mean QoE score", "% of oracle", "switches (ISP+AppP)", "oscillating"},
+	}
+	for _, a := range r.Arms {
+		osc := "no"
+		if a.Result.Oscillating {
+			osc = "yes"
+		}
+		t.AddRow(a.Name,
+			fmt.Sprintf("%d", a.ItemsShared),
+			Cell(a.Result.MeanScore),
+			Cell(100*a.Result.MeanScore/r.Oracle),
+			fmt.Sprintf("%d", a.Result.ISPSwitches+a.Result.AppPSwitches),
+			osc)
+	}
+	t.AddRow("global controller (oracle)", fmt.Sprintf("%d (wide)", r.WideSize), Cell(r.Oracle), "100", "-", "no")
+	t.Notes = append(t.Notes,
+		"paper: 'share a small subset ... such that the application quality is still close to that of the global controller'",
+		"paper: 'Information sharing in EONA is bidirectional' — one-way arms underperform the two-way narrow interface")
+	return t
+}

@@ -1,0 +1,34 @@
+package expt
+
+import "testing"
+
+func TestSparkline(t *testing.T) {
+	r := Fig5Result{ScoreHistory: []float64{0, 50, 100, -5, 200}}
+	s := []rune(r.Sparkline())
+	if len(s) != 5 {
+		t.Fatalf("sparkline length = %d, want 5", len(s))
+	}
+	if s[0] != '▁' || s[2] != '█' || s[4] != '█' {
+		t.Errorf("sparkline = %q", string(s))
+	}
+	if s[3] != '▁' {
+		t.Errorf("negative score should clamp low: %q", string(s))
+	}
+	if (Fig5Result{}).Sparkline() != "" {
+		t.Error("empty history should render empty")
+	}
+}
+
+func TestScoreHistoryPopulated(t *testing.T) {
+	r := RunFig5(Fig5Config{Seed: 1, AppPMode: EONA, InfPMode: EONA})
+	if len(r.ScoreHistory) != r.Epochs {
+		t.Errorf("history length %d != epochs %d", len(r.ScoreHistory), r.Epochs)
+	}
+	sum := 0.0
+	for _, s := range r.ScoreHistory {
+		sum += s
+	}
+	if got := sum / float64(len(r.ScoreHistory)); got != r.MeanScore {
+		t.Errorf("history mean %v != MeanScore %v", got, r.MeanScore)
+	}
+}

@@ -1,0 +1,115 @@
+// Package feature implements the attribute-selection machinery §4 points to
+// for "identifying useful knobs and data": Shannon entropy and information
+// gain over discretized session attributes, so an AppP/InfP pair can rank
+// which attributes (client ISP, CDN, peering point, bitrate, ...) actually
+// carry information about experience and belong in a narrow EONA interface.
+package feature
+
+import (
+	"math"
+	"sort"
+)
+
+// Entropy returns the Shannon entropy (bits) of a discrete label
+// distribution.
+func Entropy(labels []string) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	counts := map[string]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	n := float64(len(labels))
+	h := 0.0
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// InformationGain returns H(labels) − H(labels | attr): how many bits of
+// uncertainty about the label the attribute removes. attr and labels must be
+// parallel slices.
+func InformationGain(attr, labels []string) float64 {
+	if len(attr) != len(labels) {
+		panic("feature: attr and labels must be parallel")
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	groups := map[string][]string{}
+	for i, a := range attr {
+		groups[a] = append(groups[a], labels[i])
+	}
+	cond := 0.0
+	n := float64(len(labels))
+	for _, g := range groups {
+		cond += float64(len(g)) / n * Entropy(g)
+	}
+	ig := Entropy(labels) - cond
+	if ig < 0 {
+		ig = 0 // numerical guard
+	}
+	return ig
+}
+
+// Ranked is one attribute with its information gain.
+type Ranked struct {
+	Attribute string
+	Gain      float64
+}
+
+// Rank computes information gain for each named attribute column and
+// returns them highest-gain first (ties broken by name for determinism).
+func Rank(attrs map[string][]string, labels []string) []Ranked {
+	out := make([]Ranked, 0, len(attrs))
+	for name, col := range attrs {
+		out = append(out, Ranked{Attribute: name, Gain: InformationGain(col, labels)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Gain != out[j].Gain {
+			return out[i].Gain > out[j].Gain
+		}
+		return out[i].Attribute < out[j].Attribute
+	})
+	return out
+}
+
+// Discretize maps continuous values onto n equal-width bins labelled
+// "b0".."b<n-1>", which makes them usable as attributes or labels. Constant
+// inputs map to "b0".
+func Discretize(values []float64, n int) []string {
+	if n <= 0 {
+		panic("feature: bin count must be positive")
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	out := make([]string, len(values))
+	for i, v := range values {
+		bin := 0
+		if hi > lo {
+			bin = int(float64(n) * (v - lo) / (hi - lo))
+			if bin >= n {
+				bin = n - 1
+			}
+		}
+		out[i] = binName(bin)
+	}
+	return out
+}
+
+func binName(i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return "b" + string(digits[i])
+	}
+	return "b" + string(digits[i/10]) + string(digits[i%10])
+}

@@ -1,0 +1,136 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("empty entropy = %v", got)
+	}
+	if got := Entropy([]string{"a", "a", "a"}); got != 0 {
+		t.Errorf("pure entropy = %v, want 0", got)
+	}
+	if got := Entropy([]string{"a", "b"}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("fair coin entropy = %v, want 1", got)
+	}
+	if got := Entropy([]string{"a", "b", "c", "d"}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("4-way entropy = %v, want 2", got)
+	}
+}
+
+func TestInformationGainPerfectPredictor(t *testing.T) {
+	attr := []string{"x", "x", "y", "y"}
+	labels := []string{"good", "good", "bad", "bad"}
+	if got := InformationGain(attr, labels); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect predictor gain = %v, want 1", got)
+	}
+}
+
+func TestInformationGainIrrelevantAttr(t *testing.T) {
+	attr := []string{"x", "y", "x", "y"}
+	labels := []string{"good", "good", "bad", "bad"}
+	if got := InformationGain(attr, labels); got != 0 {
+		t.Errorf("irrelevant attribute gain = %v, want 0", got)
+	}
+}
+
+func TestInformationGainValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	InformationGain([]string{"a"}, []string{"x", "y"})
+}
+
+func TestInformationGainEmpty(t *testing.T) {
+	if got := InformationGain(nil, nil); got != 0 {
+		t.Errorf("empty gain = %v", got)
+	}
+}
+
+func TestRankOrdersAttributes(t *testing.T) {
+	labels := []string{"good", "good", "bad", "bad"}
+	attrs := map[string][]string{
+		"cdn":    {"x", "x", "y", "y"}, // perfect
+		"device": {"p", "q", "p", "q"}, // useless
+	}
+	ranked := Rank(attrs, labels)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %d entries", len(ranked))
+	}
+	if ranked[0].Attribute != "cdn" || ranked[1].Attribute != "device" {
+		t.Errorf("rank order = %v", ranked)
+	}
+	if ranked[0].Gain <= ranked[1].Gain {
+		t.Error("gains not descending")
+	}
+}
+
+func TestRankTieBreakByName(t *testing.T) {
+	labels := []string{"g", "b"}
+	attrs := map[string][]string{
+		"zeta":  {"1", "2"},
+		"alpha": {"1", "2"},
+	}
+	ranked := Rank(attrs, labels)
+	if ranked[0].Attribute != "alpha" {
+		t.Errorf("tie-break order = %v", ranked)
+	}
+}
+
+func TestDiscretize(t *testing.T) {
+	got := Discretize([]float64{0, 5, 10}, 2)
+	if got[0] != "b0" || got[2] != "b1" {
+		t.Errorf("bins = %v", got)
+	}
+	if got[1] != "b1" {
+		t.Errorf("midpoint bin = %v, want b1 (5/10*2 = 1)", got[1])
+	}
+	constant := Discretize([]float64{7, 7, 7}, 4)
+	for _, b := range constant {
+		if b != "b0" {
+			t.Errorf("constant input bin = %v, want b0", b)
+		}
+	}
+	if Discretize(nil, 3) != nil {
+		t.Error("empty input should return nil")
+	}
+	wide := Discretize([]float64{0, 99}, 15)
+	if wide[1] != "b14" {
+		t.Errorf("two-digit bin = %v, want b14", wide[1])
+	}
+}
+
+func TestDiscretizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=0 did not panic")
+		}
+	}()
+	Discretize([]float64{1}, 0)
+}
+
+// Property: information gain is non-negative and never exceeds the label
+// entropy.
+func TestQuickGainBounds(t *testing.T) {
+	f := func(pairs []struct{ A, L uint8 }) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		attr := make([]string, len(pairs))
+		labels := make([]string, len(pairs))
+		for i, p := range pairs {
+			attr[i] = binName(int(p.A % 4))
+			labels[i] = binName(int(p.L % 3))
+		}
+		gain := InformationGain(attr, labels)
+		return gain >= 0 && gain <= Entropy(labels)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

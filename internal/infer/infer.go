@@ -1,0 +1,290 @@
+// Package infer implements the baseline the paper argues against in
+// Figure 4: an InfP estimating application experience from network-level
+// measurements ("indirect inference") instead of receiving it directly over
+// EONA-A2I.
+//
+// Two standard regressors are provided — ordinary least squares and k-NN —
+// trained on (network features → QoE) pairs harvested from simulation runs.
+// The E3 experiment compares their test error against the zero-error direct
+// measurement path, reproducing the paper's claim that inference "can be
+// inaccurate and require expensive deep inspection capabilities".
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dataset is a design matrix with targets.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Add appends an example. All examples must share a feature width.
+func (d *Dataset) Add(x []float64, y float64) {
+	if len(d.X) > 0 && len(x) != len(d.X[0]) {
+		panic(fmt.Sprintf("infer: feature width %d != %d", len(x), len(d.X[0])))
+	}
+	d.X = append(d.X, append([]float64(nil), x...))
+	d.Y = append(d.Y, y)
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Split partitions the dataset deterministically: every k-th example goes to
+// test, the rest to train. k must be ≥ 2.
+func (d *Dataset) Split(k int) (train, test Dataset) {
+	if k < 2 {
+		panic("infer: split stride must be ≥ 2")
+	}
+	for i := range d.X {
+		if i%k == 0 {
+			test.Add(d.X[i], d.Y[i])
+		} else {
+			train.Add(d.X[i], d.Y[i])
+		}
+	}
+	return train, test
+}
+
+// Regressor predicts a target from a feature vector.
+type Regressor interface {
+	Predict(x []float64) float64
+}
+
+// LinReg is ordinary least squares with an intercept.
+type LinReg struct {
+	// Weights holds the intercept at index 0 followed by one weight per
+	// feature.
+	Weights []float64
+}
+
+// ErrSingular is returned when the normal equations are singular (e.g.,
+// perfectly collinear features or too few examples).
+var ErrSingular = errors.New("infer: singular normal equations")
+
+// FitLinReg solves the normal equations (XᵀX)w = XᵀY by Gaussian
+// elimination with partial pivoting. A tiny ridge term stabilizes
+// near-singular systems.
+func FitLinReg(d Dataset) (*LinReg, error) {
+	n := len(d.X)
+	if n == 0 {
+		return nil, errors.New("infer: empty dataset")
+	}
+	p := len(d.X[0]) + 1 // +intercept
+
+	// Build A = XᵀX and b = XᵀY with the implicit leading 1 feature.
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p+1)
+	}
+	feat := func(row []float64, j int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return row[j-1]
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < p; i++ {
+			fi := feat(d.X[r], i)
+			for j := 0; j < p; j++ {
+				a[i][j] += fi * feat(d.X[r], j)
+			}
+			a[i][p] += fi * d.Y[r]
+		}
+	}
+	const ridge = 1e-9
+	for i := 0; i < p; i++ {
+		a[i][i] += ridge
+	}
+
+	// Gaussian elimination with partial pivoting on [A|b].
+	for col := 0; col < p; col++ {
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		for r := 0; r < p; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= p; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	w := make([]float64, p)
+	for i := 0; i < p; i++ {
+		w[i] = a[i][p] / a[i][i]
+	}
+	return &LinReg{Weights: w}, nil
+}
+
+// Predict implements Regressor.
+func (m *LinReg) Predict(x []float64) float64 {
+	if len(x)+1 != len(m.Weights) {
+		panic(fmt.Sprintf("infer: predict width %d != model %d", len(x), len(m.Weights)-1))
+	}
+	y := m.Weights[0]
+	for i, xi := range x {
+		y += m.Weights[i+1] * xi
+	}
+	return y
+}
+
+// KNN is a k-nearest-neighbour regressor with z-score feature scaling.
+type KNN struct {
+	K    int
+	x    [][]float64
+	y    []float64
+	mean []float64
+	std  []float64
+}
+
+// FitKNN memorizes the training data and its per-feature scaling.
+func FitKNN(d Dataset, k int) (*KNN, error) {
+	if d.Len() == 0 {
+		return nil, errors.New("infer: empty dataset")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("infer: k must be positive, got %d", k)
+	}
+	if k > d.Len() {
+		k = d.Len()
+	}
+	p := len(d.X[0])
+	m := &KNN{K: k, x: d.X, y: d.Y, mean: make([]float64, p), std: make([]float64, p)}
+	for j := 0; j < p; j++ {
+		for i := range d.X {
+			m.mean[j] += d.X[i][j]
+		}
+		m.mean[j] /= float64(d.Len())
+		for i := range d.X {
+			dx := d.X[i][j] - m.mean[j]
+			m.std[j] += dx * dx
+		}
+		m.std[j] = math.Sqrt(m.std[j] / float64(d.Len()))
+		if m.std[j] == 0 {
+			m.std[j] = 1
+		}
+	}
+	return m, nil
+}
+
+// Predict implements Regressor: the mean target of the K nearest scaled
+// neighbours.
+func (m *KNN) Predict(x []float64) float64 {
+	type cand struct {
+		dist float64
+		y    float64
+	}
+	cands := make([]cand, len(m.x))
+	for i := range m.x {
+		d := 0.0
+		for j := range x {
+			dx := (x[j] - m.x[i][j]) / m.std[j]
+			d += dx * dx
+		}
+		cands[i] = cand{dist: d, y: m.y[i]}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	sum := 0.0
+	for i := 0; i < m.K; i++ {
+		sum += cands[i].y
+	}
+	return sum / float64(m.K)
+}
+
+// Eval holds regression error metrics.
+type Eval struct {
+	MAE, RMSE float64
+	// Spearman is the rank correlation between predictions and truth —
+	// the metric that matters when an InfP uses inferred QoE to *rank*
+	// decisions.
+	Spearman float64
+}
+
+// Evaluate runs the regressor over the test set.
+func Evaluate(m Regressor, test Dataset) Eval {
+	n := test.Len()
+	if n == 0 {
+		return Eval{}
+	}
+	preds := make([]float64, n)
+	var sumAbs, sumSq float64
+	for i := range test.X {
+		preds[i] = m.Predict(test.X[i])
+		d := preds[i] - test.Y[i]
+		sumAbs += math.Abs(d)
+		sumSq += d * d
+	}
+	return Eval{
+		MAE:      sumAbs / float64(n),
+		RMSE:     math.Sqrt(sumSq / float64(n)),
+		Spearman: Spearman(preds, test.Y),
+	}
+}
+
+// Spearman computes the Spearman rank correlation of two equal-length
+// vectors, with average ranks for ties. Returns 0 for degenerate inputs.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra, rb := ranks(a), ranks(b)
+	return pearson(ra, rb)
+}
+
+func ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return v[idx[i]] < v[idx[j]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,250 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinRegRecoversPlane(t *testing.T) {
+	// y = 3 + 2a - 5b, exactly.
+	var d Dataset
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		d.Add([]float64{a, b}, 3+2*a-5*b)
+	}
+	m, err := FitLinReg(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -5}
+	for i, w := range want {
+		if math.Abs(m.Weights[i]-w) > 1e-6 {
+			t.Errorf("weight %d = %v, want %v", i, m.Weights[i], w)
+		}
+	}
+	if got := m.Predict([]float64{1, 1}); math.Abs(got-0) > 1e-6 {
+		t.Errorf("Predict(1,1) = %v, want 0", got)
+	}
+}
+
+func TestLinRegNoisyFit(t *testing.T) {
+	var d Dataset
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 100
+		d.Add([]float64{x}, 10+0.5*x+rng.NormFloat64()*3)
+	}
+	m, err := FitLinReg(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[1]-0.5) > 0.05 {
+		t.Errorf("slope = %v, want ≈0.5", m.Weights[1])
+	}
+}
+
+func TestLinRegErrors(t *testing.T) {
+	if _, err := FitLinReg(Dataset{}); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+func TestLinRegCollinearStabilized(t *testing.T) {
+	// Two identical features: ridge term keeps this solvable.
+	var d Dataset
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		d.Add([]float64{x, x}, 2*x)
+	}
+	m, err := FitLinReg(d)
+	if err != nil {
+		t.Fatalf("collinear fit failed: %v", err)
+	}
+	if got := m.Predict([]float64{10, 10}); math.Abs(got-20) > 0.1 {
+		t.Errorf("Predict = %v, want 20", got)
+	}
+}
+
+func TestPredictWidthMismatchPanics(t *testing.T) {
+	var d Dataset
+	d.Add([]float64{1, 2}, 3)
+	d.Add([]float64{2, 3}, 4)
+	d.Add([]float64{5, 1}, 2)
+	m, err := FitLinReg(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch did not panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestDatasetAddWidthMismatchPanics(t *testing.T) {
+	var d Dataset
+	d.Add([]float64{1, 2}, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Add did not panic")
+		}
+	}()
+	d.Add([]float64{1}, 2)
+}
+
+func TestSplit(t *testing.T) {
+	var d Dataset
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{float64(i)}, float64(i))
+	}
+	train, test := d.Split(5)
+	if train.Len() != 8 || test.Len() != 2 {
+		t.Errorf("split = %d/%d, want 8/2", train.Len(), test.Len())
+	}
+	if test.Y[0] != 0 || test.Y[1] != 5 {
+		t.Errorf("test targets = %v", test.Y)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("stride 1 did not panic")
+		}
+	}()
+	d.Split(1)
+}
+
+func TestKNNExactNeighbor(t *testing.T) {
+	var d Dataset
+	d.Add([]float64{0, 0}, 1)
+	d.Add([]float64{10, 10}, 2)
+	d.Add([]float64{20, 20}, 3)
+	m, err := FitKNN(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{10.1, 9.9}); got != 2 {
+		t.Errorf("Predict near (10,10) = %v, want 2", got)
+	}
+}
+
+func TestKNNAverages(t *testing.T) {
+	var d Dataset
+	d.Add([]float64{0}, 10)
+	d.Add([]float64{1}, 20)
+	d.Add([]float64{100}, 1000)
+	m, err := FitKNN(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0.5}); got != 15 {
+		t.Errorf("2-NN average = %v, want 15", got)
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	var d Dataset
+	d.Add([]float64{1}, 1)
+	if _, err := FitKNN(Dataset{}, 3); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := FitKNN(d, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	m, err := FitKNN(d, 10) // k clamped to dataset size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 1 {
+		t.Errorf("K = %d, want clamped to 1", m.K)
+	}
+}
+
+func TestEvaluatePerfectModel(t *testing.T) {
+	var d Dataset
+	for i := 0; i < 100; i++ {
+		d.Add([]float64{float64(i)}, float64(i)*2)
+	}
+	m, _ := FitLinReg(d)
+	ev := Evaluate(m, d)
+	if ev.MAE > 1e-6 || ev.RMSE > 1e-6 {
+		t.Errorf("perfect model errors = %+v", ev)
+	}
+	if math.Abs(ev.Spearman-1) > 1e-9 {
+		t.Errorf("Spearman = %v, want 1", ev.Spearman)
+	}
+	if got := Evaluate(m, Dataset{}); got != (Eval{}) {
+		t.Error("empty test set should produce zero Eval")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	up := []float64{1, 2, 3, 4, 5}
+	down := []float64{5, 4, 3, 2, 1}
+	if got := Spearman(up, up); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical Spearman = %v", got)
+	}
+	if got := Spearman(up, down); math.Abs(got+1) > 1e-9 {
+		t.Errorf("reversed Spearman = %v", got)
+	}
+	if Spearman(up, []float64{1}) != 0 {
+		t.Error("length mismatch should return 0")
+	}
+	if Spearman([]float64{1, 1, 1}, up[:3]) != 0 {
+		t.Error("constant vector should return 0")
+	}
+	// Ties get average ranks: still perfectly monotone here.
+	if got := Spearman([]float64{1, 2, 2, 3}, []float64{10, 20, 20, 30}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("tied Spearman = %v, want 1", got)
+	}
+}
+
+func TestLinRegBeatsKNNOnLinearData(t *testing.T) {
+	// Sanity check of the harness itself: on truly linear data OLS should
+	// outperform 5-NN out of sample.
+	var d Dataset
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		d.Add([]float64{a, b}, 1+2*a+3*b+rng.NormFloat64()*0.5)
+	}
+	train, test := d.Split(5)
+	lin, err := FitLinReg(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := FitKNN(train, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evLin, evKNN := Evaluate(lin, test), Evaluate(knn, test)
+	if evLin.MAE >= evKNN.MAE {
+		t.Errorf("OLS MAE %v not better than kNN MAE %v on linear data", evLin.MAE, evKNN.MAE)
+	}
+}
+
+// Property: Spearman is always in [-1, 1] and symmetric.
+func TestQuickSpearmanBounds(t *testing.T) {
+	f := func(a, b []int8) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n < 2 {
+			return true
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i], y[i] = float64(a[i]), float64(b[i])
+		}
+		r1 := Spearman(x, y)
+		r2 := Spearman(y, x)
+		return r1 >= -1-1e-9 && r1 <= 1+1e-9 && math.Abs(r1-r2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package lookingglass
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"eona/internal/auth"
+	"eona/internal/core"
+	"eona/internal/netsim"
+)
+
+// countingTransport counts response status codes seen by the client.
+type countingTransport struct {
+	inner       http.RoundTripper
+	ok, notMod  atomic.Int64
+	bodiesBytes atomic.Int64
+}
+
+func (c *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := c.inner.RoundTrip(r)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		c.ok.Add(1)
+	case http.StatusNotModified:
+		c.notMod.Add(1)
+	}
+	return resp, nil
+}
+
+func TestConditionalRequests(t *testing.T) {
+	mutablePeering := []core.PeeringInfo{
+		{PeeringID: "B", CDN: "cdnX", Congestion: netsim.CongestionNone, CapacityBps: 100e6},
+	}
+	store := auth.NewStore()
+	store.Register("tok", "p", auth.ScopeI2APeering)
+	srv := NewServer(store, nil, Sources{
+		PeeringInfo: func(string) []core.PeeringInfo { return mutablePeering },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ct := &countingTransport{inner: http.DefaultTransport}
+	client := NewClient(ts.URL, "tok", &http.Client{Transport: ct})
+	ctx := context.Background()
+
+	// First fetch: full body.
+	v1, err := client.PeeringInfo(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.ok.Load() != 1 || ct.notMod.Load() != 0 {
+		t.Fatalf("after first fetch: ok=%d notMod=%d", ct.ok.Load(), ct.notMod.Load())
+	}
+
+	// Unchanged data: 304s, same result.
+	for i := 0; i < 3; i++ {
+		v, err := client.PeeringInfo(ctx, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v) != len(v1) || v[0] != v1[0] {
+			t.Fatalf("cached result diverged: %+v", v)
+		}
+	}
+	if ct.notMod.Load() != 3 {
+		t.Errorf("notMod = %d, want 3", ct.notMod.Load())
+	}
+
+	// Data changes: full body again, new value visible.
+	mutablePeering[0].Congestion = netsim.CongestionSevere
+	v2, err := client.PeeringInfo(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2[0].Congestion != netsim.CongestionSevere {
+		t.Errorf("change not observed through cache: %+v", v2[0])
+	}
+	if ct.ok.Load() != 2 {
+		t.Errorf("ok = %d, want 2 (one refetch)", ct.ok.Load())
+	}
+}
+
+func TestETagHeaderShape(t *testing.T) {
+	store := auth.NewStore()
+	store.Register("tok", "p", auth.ScopeI2APeering)
+	srv := NewServer(store, nil, Sources{
+		PeeringInfo: func(string) []core.PeeringInfo { return nil },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/i2a/peering", nil)
+	req.Header.Set("Authorization", "Bearer tok")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	etag := resp.Header.Get("ETag")
+	if len(etag) != 18 || etag[0] != '"' || etag[len(etag)-1] != '"' {
+		t.Errorf("ETag = %q, want quoted 16-hex-char tag", etag)
+	}
+
+	// Raw conditional request returns 304 with empty body.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/i2a/peering", nil)
+	req2.Header.Set("Authorization", "Bearer tok")
+	req2.Header.Set("If-None-Match", etag)
+	resp2, err := ts.Client().Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("status = %d, want 304", resp2.StatusCode)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	if len(body) != 0 {
+		t.Errorf("304 carried a body of %d bytes", len(body))
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	// 4xx responses must not poison the conditional cache.
+	store := auth.NewStore()
+	store.Register("tok", "p", auth.ScopeI2APeering)
+	srv := NewServer(store, nil, Sources{}) // surface not offered: 404
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL, "tok", ts.Client())
+	for i := 0; i < 2; i++ {
+		if _, err := client.PeeringInfo(context.Background(), ""); err == nil {
+			t.Fatal("expected 404")
+		}
+	}
+}

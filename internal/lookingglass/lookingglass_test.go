@@ -1,0 +1,244 @@
+package lookingglass
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"eona/internal/auth"
+	"eona/internal/core"
+	"eona/internal/netsim"
+)
+
+func testSources() Sources {
+	return Sources{
+		QoESummaries: func() []core.QoESummary {
+			return []core.QoESummary{{
+				Key:       core.SummaryKey{ClientISP: "isp1", CDN: "cdnX", Cluster: "east"},
+				Sessions:  10,
+				MeanScore: 82,
+			}}
+		},
+		TrafficEstimates: func() []core.TrafficEstimate {
+			return []core.TrafficEstimate{{AppP: "vod", CDN: "cdnX", VolumeBps: 5e8, Sessions: 10}}
+		},
+		PeeringInfo: func(cdn string) []core.PeeringInfo {
+			out := []core.PeeringInfo{
+				{PeeringID: "B", CDN: "cdnX", Congestion: netsim.CongestionHigh, HeadroomBps: 1e6, CapacityBps: 1e8, Current: true},
+				{PeeringID: "C", CDN: "cdnY", Congestion: netsim.CongestionNone, HeadroomBps: 4e8, CapacityBps: 5e8},
+			}
+			if cdn == "" {
+				return out
+			}
+			var filtered []core.PeeringInfo
+			for _, p := range out {
+				if p.CDN == cdn {
+					filtered = append(filtered, p)
+				}
+			}
+			return filtered
+		},
+		Attribution: func(cdn string) (core.Attribution, bool) {
+			if cdn != "cdnX" {
+				return core.Attribution{}, false
+			}
+			return core.Attribution{CDN: "cdnX", Segment: core.SegmentAccess, Level: netsim.CongestionSevere, SuggestedCapBps: 1.5e6}, true
+		},
+		ServerHints: func(cdn, cluster string) []core.ServerHint {
+			return []core.ServerHint{{ServerID: cluster + "-s01", Cluster: cluster, Load: 0.4, CacheLikely: true}}
+		},
+	}
+}
+
+func newTestServer(t *testing.T, limiter *auth.RateLimiter, src Sources) (*httptest.Server, *auth.Store) {
+	t.Helper()
+	store := auth.NewStore()
+	store.Register("tok-full", "partner", auth.ScopeA2IQoE, auth.ScopeA2ITraffic,
+		auth.ScopeI2APeering, auth.ScopeI2AAttrib, auth.ScopeI2AHints)
+	store.Register("tok-narrow", "restricted", auth.ScopeI2APeering)
+	srv := NewServer(store, limiter, src)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+func TestEndToEndAllSurfaces(t *testing.T) {
+	ts, _ := newTestServer(t, nil, testSources())
+	c := NewClient(ts.URL, "tok-full", ts.Client())
+	ctx := context.Background()
+
+	sums, err := c.QoESummaries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].MeanScore != 82 {
+		t.Errorf("summaries = %+v", sums)
+	}
+
+	traffic, err := c.TrafficEstimates(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traffic) != 1 || traffic[0].VolumeBps != 5e8 {
+		t.Errorf("traffic = %+v", traffic)
+	}
+
+	peering, err := c.PeeringInfo(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peering) != 2 {
+		t.Errorf("peering (all) = %+v", peering)
+	}
+	peeringX, err := c.PeeringInfo(ctx, "cdnX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peeringX) != 1 || peeringX[0].PeeringID != "B" || !peeringX[0].Current {
+		t.Errorf("peering (cdnX) = %+v", peeringX)
+	}
+
+	att, err := c.Attribution(ctx, "cdnX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Segment != core.SegmentAccess || att.SuggestedCapBps != 1.5e6 {
+		t.Errorf("attribution = %+v", att)
+	}
+
+	hints, err := c.ServerHints(ctx, "cdnX", "east")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hints) != 1 || hints[0].ServerID != "east-s01" || !hints[0].CacheLikely {
+		t.Errorf("hints = %+v", hints)
+	}
+}
+
+func TestAuthRejections(t *testing.T) {
+	ts, _ := newTestServer(t, nil, testSources())
+	ctx := context.Background()
+
+	// No token.
+	noTok := NewClient(ts.URL, "", ts.Client())
+	var se *StatusError
+	if _, err := noTok.PeeringInfo(ctx, ""); !errors.As(err, &se) || se.Code != 401 {
+		t.Errorf("missing token err = %v, want 401", err)
+	}
+
+	// Wrong token.
+	bad := NewClient(ts.URL, "nope", ts.Client())
+	if _, err := bad.PeeringInfo(ctx, ""); !errors.As(err, &se) || se.Code != 401 {
+		t.Errorf("bad token err = %v, want 401", err)
+	}
+
+	// Valid token, missing scope.
+	narrow := NewClient(ts.URL, "tok-narrow", ts.Client())
+	if _, err := narrow.QoESummaries(ctx); !errors.As(err, &se) || se.Code != 403 {
+		t.Errorf("missing scope err = %v, want 403", err)
+	}
+	// ...but the granted scope works.
+	if _, err := narrow.PeeringInfo(ctx, ""); err != nil {
+		t.Errorf("granted scope failed: %v", err)
+	}
+}
+
+func TestNotOfferedSurfaces(t *testing.T) {
+	ts, _ := newTestServer(t, nil, Sources{}) // owner offers nothing
+	c := NewClient(ts.URL, "tok-full", ts.Client())
+	ctx := context.Background()
+	var se *StatusError
+	if _, err := c.QoESummaries(ctx); !errors.As(err, &se) || se.Code != 404 {
+		t.Errorf("unoffered surface err = %v, want 404", err)
+	}
+	if _, err := c.ServerHints(ctx, "cdnX", "east"); !errors.As(err, &se) || se.Code != 404 {
+		t.Errorf("unoffered hints err = %v, want 404", err)
+	}
+}
+
+func TestAttributionMissingCDN(t *testing.T) {
+	ts, _ := newTestServer(t, nil, testSources())
+	c := NewClient(ts.URL, "tok-full", ts.Client())
+	var se *StatusError
+	if _, err := c.Attribution(context.Background(), "cdnZ"); !errors.As(err, &se) || se.Code != 404 {
+		t.Errorf("unknown cdn err = %v, want 404", err)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	ts, _ := newTestServer(t, auth.NewRateLimiter(1, 2), testSources())
+	c := NewClient(ts.URL, "tok-full", ts.Client())
+	ctx := context.Background()
+	var limited bool
+	for i := 0; i < 5; i++ {
+		_, err := c.PeeringInfo(ctx, "")
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == 429 {
+			limited = true
+		}
+	}
+	if !limited {
+		t.Error("burst of 5 requests never hit the rate limit")
+	}
+}
+
+func TestRevocationTakesEffect(t *testing.T) {
+	ts, store := newTestServer(t, nil, testSources())
+	c := NewClient(ts.URL, "tok-full", ts.Client())
+	ctx := context.Background()
+	if _, err := c.PeeringInfo(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+	store.Revoke("tok-full")
+	var se *StatusError
+	if _, err := c.PeeringInfo(ctx, ""); !errors.As(err, &se) || se.Code != 401 {
+		t.Errorf("post-revocation err = %v, want 401", err)
+	}
+}
+
+func TestEnvelopeTimestampInjectable(t *testing.T) {
+	store := auth.NewStore()
+	store.Register("tok", "p", auth.ScopeI2APeering)
+	srv := NewServer(store, nil, testSources())
+	srv.Now = func() int64 { return 777 } // simulator clock
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, "tok", ts.Client())
+	env, err := c.get(context.Background(), "/v1/i2a/peering", nil, "i2a.peering_info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.GeneratedAtMs != 777 {
+		t.Errorf("GeneratedAtMs = %d, want 777", env.GeneratedAtMs)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t, nil, testSources())
+	resp, err := ts.Client().Post(ts.URL+"/v1/i2a/peering", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, nil, testSources())
+	c := NewClient(ts.URL, "tok-full", nil) // default client
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.PeeringInfo(ctx, ""); err != nil {
+		t.Fatalf("default-client request failed: %v", err)
+	}
+	// A cancelled context fails fast.
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	if _, err := c.PeeringInfo(dead, ""); err == nil {
+		t.Error("cancelled context did not fail")
+	}
+}

@@ -1,0 +1,93 @@
+package lookingglass
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Snapshot is the freshest value a Poller has fetched, safe for concurrent
+// reads by a control loop while the poller refreshes it in the background.
+// A Snapshot is the wall-clock counterpart of core.Delayed: control loops
+// read whatever the last successful poll returned, however old it is —
+// which is exactly the staleness the E6 experiment characterizes.
+type Snapshot[T any] struct {
+	mu  sync.RWMutex
+	v   T
+	at  time.Time
+	ok  bool
+	err error
+}
+
+// Get returns the latest value, when it was fetched, and whether any fetch
+// has succeeded yet.
+func (s *Snapshot[T]) Get() (v T, fetchedAt time.Time, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.v, s.at, s.ok
+}
+
+// Err returns the error of the most recent poll (nil after a success).
+func (s *Snapshot[T]) Err() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.err
+}
+
+// Age returns time since the last successful fetch, or false if none.
+func (s *Snapshot[T]) Age(now time.Time) (time.Duration, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.ok {
+		return 0, false
+	}
+	return now.Sub(s.at), true
+}
+
+func (s *Snapshot[T]) set(v T, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v, s.at, s.ok, s.err = v, at, true, nil
+}
+
+func (s *Snapshot[T]) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.err = err
+}
+
+// Poll fetches fetch() immediately and then every interval until ctx is
+// cancelled, publishing results into the returned Snapshot. Failed polls
+// keep the previous value (stale beats absent — the §5 staleness stance)
+// and record the error. The done channel closes when the polling goroutine
+// exits.
+func Poll[T any](ctx context.Context, interval time.Duration, fetch func(context.Context) (T, error)) (*Snapshot[T], <-chan struct{}) {
+	if interval <= 0 {
+		panic("lookingglass: poll interval must be positive")
+	}
+	snap := &Snapshot[T]{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		poll := func() {
+			v, err := fetch(ctx)
+			if err != nil {
+				snap.fail(err)
+				return
+			}
+			snap.set(v, time.Now())
+		}
+		poll()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				poll()
+			}
+		}
+	}()
+	return snap, done
+}

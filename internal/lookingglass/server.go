@@ -1,0 +1,246 @@
+// Package lookingglass implements the query servers §3 proposes: "InfPs and
+// AppPs can establish 'looking glass'-like servers that can be queried to
+// implement the respective interfaces".
+//
+// A Server exposes whichever interface surfaces its owner provides (an AppP
+// sets the A2I sources, an InfP the I2A sources) over HTTP+JSON using the
+// wire envelope, behind bearer-token scopes and per-collaborator rate
+// limits. A Client consumes a peer's server. Both sides are plain stdlib
+// net/http and are exercised over httptest and loopback TCP in the tests.
+package lookingglass
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"eona/internal/auth"
+	"eona/internal/core"
+	"eona/internal/wire"
+)
+
+// Sources supplies the data a server exports. Nil funcs mean "surface not
+// offered" and return 404. Each func is called per request; implementations
+// close over the owner's state (and its simulator clock, if any).
+type Sources struct {
+	// A2I surfaces (set by an AppP).
+	QoESummaries     func() []core.QoESummary
+	TrafficEstimates func() []core.TrafficEstimate
+
+	// I2A surfaces (set by an InfP). The cdn argument comes from the
+	// ?cdn= query parameter and may be empty.
+	PeeringInfo func(cdn string) []core.PeeringInfo
+	Attribution func(cdn string) (core.Attribution, bool)
+	ServerHints func(cdn, cluster string) []core.ServerHint
+
+	// Per-partner A2I variants, preferred over the plain funcs when
+	// non-nil: the authenticated collaborator name is passed through so
+	// the owner can apply partner-specific blinding policies (§4: "AppPs
+	// and InfPs must be able to specify what can or cannot be shared").
+	// Wire them to a core.Registry + Collector.SummariesUnder.
+	QoESummariesFor     func(partner string) []core.QoESummary
+	TrafficEstimatesFor func(partner string) []core.TrafficEstimate
+}
+
+// Server is an EONA looking-glass HTTP server.
+type Server struct {
+	auth    *auth.Store
+	limiter *auth.RateLimiter
+	src     Sources
+	// Now supplies timestamps for envelopes; defaults to wall clock
+	// milliseconds. Experiments inject the simulator clock.
+	Now func() int64
+	// Logf, when set, logs denied and failed requests.
+	Logf func(format string, args ...any)
+}
+
+// NewServer builds a server. limiter may be nil (no rate limiting).
+func NewServer(store *auth.Store, limiter *auth.RateLimiter, src Sources) *Server {
+	if store == nil {
+		panic("lookingglass: nil auth store")
+	}
+	return &Server{
+		auth:    store,
+		limiter: limiter,
+		src:     src,
+		Now:     func() int64 { return time.Now().UnixMilli() },
+	}
+}
+
+// Handler returns the HTTP handler exposing the EONA routes:
+//
+//	GET /v1/a2i/summaries          (scope a2i:qoe)
+//	GET /v1/a2i/traffic            (scope a2i:traffic)
+//	GET /v1/i2a/peering?cdn=X      (scope i2a:peering)
+//	GET /v1/i2a/attribution?cdn=X  (scope i2a:attribution)
+//	GET /v1/i2a/hints?cdn=X&cluster=Y (scope i2a:hints)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/a2i/summaries", s.guard(auth.ScopeA2IQoE, s.handleSummaries))
+	mux.HandleFunc("GET /v1/a2i/traffic", s.guard(auth.ScopeA2ITraffic, s.handleTraffic))
+	mux.HandleFunc("GET /v1/i2a/peering", s.guard(auth.ScopeI2APeering, s.handlePeering))
+	mux.HandleFunc("GET /v1/i2a/attribution", s.guard(auth.ScopeI2AAttrib, s.handleAttribution))
+	mux.HandleFunc("GET /v1/i2a/hints", s.guard(auth.ScopeI2AHints, s.handleHints))
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) guard(scope auth.Scope, next func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token, ok := bearerToken(r)
+		if !ok {
+			s.deny(w, http.StatusUnauthorized, "missing bearer token")
+			return
+		}
+		collab, err := s.auth.Authorize(token, scope)
+		if err != nil {
+			code := http.StatusUnauthorized
+			if errors.Is(err, auth.ErrForbidden) {
+				code = http.StatusForbidden
+			}
+			s.logf("lookingglass: denied %s %s: %v", r.Method, r.URL.Path, err)
+			s.deny(w, code, err.Error())
+			return
+		}
+		if s.limiter != nil && !s.limiter.Allow(collab, time.Now()) {
+			s.deny(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		next(w, r, collab)
+	}
+}
+
+func bearerToken(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(h, prefix) || len(h) == len(prefix) {
+		return "", false
+	}
+	return h[len(prefix):], true
+}
+
+func (s *Server) deny(w http.ResponseWriter, code int, msg string) {
+	data, err := wire.Encode(wire.TypeError, s.Now(), wire.ErrorBody{Code: code, Message: msg})
+	if err != nil {
+		http.Error(w, msg, code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
+}
+
+func (s *Server) reply(w http.ResponseWriter, r *http.Request, t wire.MessageType, payload any) {
+	// ETag over the payload (not the envelope: the envelope timestamp
+	// changes every call even when the data hasn't) so pollers can use
+	// If-None-Match and skip unchanged bodies — EONA peers poll these
+	// endpoints continuously.
+	body, err := json.Marshal(payload)
+	if err != nil {
+		s.logf("lookingglass: marshal %s: %v", t, err)
+		http.Error(w, "encoding failure", http.StatusInternalServerError)
+		return
+	}
+	sum := sha256.Sum256(body)
+	etag := `"` + hex.EncodeToString(sum[:8]) + `"`
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	data, err := wire.Encode(t, s.Now(), payload)
+	if err != nil {
+		s.logf("lookingglass: encode %s: %v", t, err)
+		http.Error(w, "encoding failure", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		s.logf("lookingglass: write response: %v", err)
+	}
+}
+
+func (s *Server) handleSummaries(w http.ResponseWriter, r *http.Request, collab string) {
+	switch {
+	case s.src.QoESummariesFor != nil:
+		s.reply(w, r, wire.TypeQoESummaries, s.src.QoESummariesFor(collab))
+	case s.src.QoESummaries != nil:
+		s.reply(w, r, wire.TypeQoESummaries, s.src.QoESummaries())
+	default:
+		s.deny(w, http.StatusNotFound, "a2i summaries not offered")
+	}
+}
+
+func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request, collab string) {
+	switch {
+	case s.src.TrafficEstimatesFor != nil:
+		s.reply(w, r, wire.TypeTrafficEstimates, s.src.TrafficEstimatesFor(collab))
+	case s.src.TrafficEstimates != nil:
+		s.reply(w, r, wire.TypeTrafficEstimates, s.src.TrafficEstimates())
+	default:
+		s.deny(w, http.StatusNotFound, "a2i traffic not offered")
+	}
+}
+
+func (s *Server) handlePeering(w http.ResponseWriter, r *http.Request, _ string) {
+	if s.src.PeeringInfo == nil {
+		s.deny(w, http.StatusNotFound, "i2a peering not offered")
+		return
+	}
+	s.reply(w, r, wire.TypePeeringInfo, s.src.PeeringInfo(r.URL.Query().Get("cdn")))
+}
+
+func (s *Server) handleAttribution(w http.ResponseWriter, r *http.Request, _ string) {
+	if s.src.Attribution == nil {
+		s.deny(w, http.StatusNotFound, "i2a attribution not offered")
+		return
+	}
+	cdn := r.URL.Query().Get("cdn")
+	att, ok := s.src.Attribution(cdn)
+	if !ok {
+		s.deny(w, http.StatusNotFound, "no attribution for cdn "+cdn)
+		return
+	}
+	s.reply(w, r, wire.TypeAttribution, att)
+}
+
+func (s *Server) handleHints(w http.ResponseWriter, r *http.Request, _ string) {
+	if s.src.ServerHints == nil {
+		s.deny(w, http.StatusNotFound, "i2a hints not offered")
+		return
+	}
+	q := r.URL.Query()
+	s.reply(w, r, wire.TypeServerHints, s.src.ServerHints(q.Get("cdn"), q.Get("cluster")))
+}
+
+// ListenAndServe runs the server on addr until the listener fails. Intended
+// for cmd/eona-lg; tests use Handler with httptest.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+		ErrorLog:          log.New(logWriter{s}, "", 0),
+	}
+	return srv.ListenAndServe()
+}
+
+type logWriter struct{ s *Server }
+
+func (lw logWriter) Write(p []byte) (int, error) {
+	lw.s.logf("%s", strings.TrimSpace(string(p)))
+	return len(p), nil
+}

@@ -1,0 +1,449 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// FlowID identifies an active flow.
+type FlowID int64
+
+// Flow is a fluid flow over a path. Rate is maintained by the Network's
+// max-min fair allocator; callers read it, never write it.
+type Flow struct {
+	ID   FlowID
+	Path Path
+	// Demand is the application-limited sending rate ceiling in bits/s.
+	// Use math.Inf(1) (or Network.MaxRate) for a greedy flow such as a
+	// video segment download.
+	Demand float64
+	// Rate is the currently allocated rate in bits/s.
+	Rate float64
+	// Weight scales the flow's share under contention (weighted max-min:
+	// a weight-2 flow gets twice a weight-1 flow's share at a shared
+	// bottleneck). Zero or negative means 1. Set via SetWeight.
+	Weight float64
+	// Tag is an opaque scenario label ("cdnX", "appP2") used by
+	// experiments to group flows when reading link statistics.
+	Tag string
+}
+
+func (f *Flow) weight() float64 {
+	if f.Weight <= 0 {
+		return 1
+	}
+	return f.Weight
+}
+
+// DefaultMaxRate caps greedy flows at a last-mile/NIC limit so that every
+// allocation is finite even on an empty path. 1 Gbps.
+const DefaultMaxRate = 1e9
+
+// Network owns a topology plus the set of active flows and keeps flow rates
+// max-min fair. It is not safe for concurrent use; all EONA experiments
+// drive it from a single simulator goroutine.
+type Network struct {
+	topo  *Topology
+	flows map[FlowID]*Flow
+	// linkRate[l] is the current total allocated rate on link l.
+	linkRate []float64
+	nextID   FlowID
+	// MaxRate bounds every flow's rate (models the client NIC / last
+	// hop). Defaults to DefaultMaxRate.
+	MaxRate float64
+	// Reallocations counts fair-share recomputations, for benchmarks.
+	Reallocations uint64
+}
+
+// NewNetwork wraps a topology. The topology must not gain links afterwards.
+func NewNetwork(t *Topology) *Network {
+	return &Network{
+		topo:     t,
+		flows:    make(map[FlowID]*Flow),
+		linkRate: make([]float64, t.NumLinks()),
+		MaxRate:  DefaultMaxRate,
+	}
+}
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *Topology { return n.topo }
+
+// NumFlows returns the number of active flows.
+func (n *Network) NumFlows() int { return len(n.flows) }
+
+// StartFlow attaches a flow on path with the given demand and tag, then
+// reallocates. The path must be connected (panics otherwise: a disconnected
+// path is a scenario bug, not a runtime condition).
+func (n *Network) StartFlow(path Path, demand float64, tag string) *Flow {
+	if !path.Valid("", "") {
+		panic(fmt.Sprintf("netsim: disconnected path %v", path))
+	}
+	if demand < 0 {
+		demand = 0
+	}
+	f := &Flow{ID: n.nextID, Path: path, Demand: demand, Tag: tag}
+	n.nextID++
+	n.flows[f.ID] = f
+	n.Reallocate()
+	return f
+}
+
+// StopFlow detaches a flow and reallocates. Stopping an unknown or
+// already-stopped flow is a no-op.
+func (n *Network) StopFlow(f *Flow) {
+	if f == nil {
+		return
+	}
+	if _, ok := n.flows[f.ID]; !ok {
+		return
+	}
+	delete(n.flows, f.ID)
+	f.Rate = 0
+	n.Reallocate()
+}
+
+// SetDemand updates a flow's demand ceiling and reallocates.
+func (n *Network) SetDemand(f *Flow, demand float64) {
+	if demand < 0 {
+		demand = 0
+	}
+	if f.Demand == demand {
+		return
+	}
+	f.Demand = demand
+	n.Reallocate()
+}
+
+// SetWeight updates a flow's fair-share weight and reallocates.
+func (n *Network) SetWeight(f *Flow, weight float64) {
+	if f.Weight == weight {
+		return
+	}
+	f.Weight = weight
+	n.Reallocate()
+}
+
+// SetPath re-routes a flow (e.g., after an ISP egress change) and
+// reallocates.
+func (n *Network) SetPath(f *Flow, path Path) {
+	if !path.Valid("", "") {
+		panic(fmt.Sprintf("netsim: disconnected path %v", path))
+	}
+	f.Path = path
+	n.Reallocate()
+}
+
+// SetLinkCapacity changes a link's capacity at runtime (maintenance,
+// degradation, an upgrade) and reallocates. Capacity must stay positive —
+// model a dead link as a tiny capacity (flows stay routed but starve),
+// or re-path flows off it.
+func (n *Network) SetLinkCapacity(id LinkID, capacity float64) {
+	l := n.topo.Link(id)
+	if l == nil {
+		panic(fmt.Sprintf("netsim: SetLinkCapacity on unknown link %d", id))
+	}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive capacity %v for link %s->%s", capacity, l.From, l.To))
+	}
+	if l.Capacity == capacity {
+		return
+	}
+	l.Capacity = capacity
+	n.Reallocate()
+}
+
+// Reallocate recomputes all flow rates by progressive filling — weighted
+// max-min fairness with demand caps. The fill level λ is in rate-per-weight
+// units: an unfrozen flow's tentative rate is λ×weight, so at a shared
+// bottleneck flows split capacity in proportion to their weights. Runs in
+// O(iterations × links × flows) where iterations ≤ flows; topologies in
+// this repo are small enough that this is never the bottleneck (see
+// BenchmarkReallocate).
+func (n *Network) Reallocate() {
+	n.Reallocations++
+	for i := range n.linkRate {
+		n.linkRate[i] = 0
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+
+	// Deterministic flow order.
+	flows := make([]*Flow, 0, len(n.flows))
+	for _, f := range n.flows {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+
+	rate := make([]float64, len(flows))        // working rates
+	frozen := make([]bool, len(flows))         // flow finished?
+	avail := make([]float64, len(n.linkRate))  // remaining link capacity
+	weight := make([]float64, len(n.linkRate)) // unfrozen weight per link
+	for i, l := range n.topo.Links() {
+		avail[i] = l.Capacity
+		_ = l
+	}
+	for _, f := range flows {
+		for _, l := range f.Path {
+			weight[l.ID] += f.weight()
+		}
+	}
+
+	unfrozen := len(flows)
+	for unfrozen > 0 {
+		// Fill level λ (rate per unit weight): the smallest over
+		// links that carry unfrozen flows. Flows not constrained by
+		// any link are bounded by MaxRate via the demand step below.
+		level := math.Inf(1)
+		for i := range avail {
+			if weight[i] > 0 {
+				if s := avail[i] / weight[i]; s < level {
+					level = s
+				}
+			}
+		}
+		// Flows whose capped demand is reached at or below the level
+		// freeze at that demand.
+		frozeAny := false
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			w := f.weight()
+			d := math.Min(f.Demand, n.MaxRate)
+			if d/w <= level {
+				rate[i] = d
+				frozen[i] = true
+				unfrozen--
+				frozeAny = true
+				for _, l := range f.Path {
+					avail[l.ID] -= d
+					if avail[l.ID] < 0 {
+						avail[l.ID] = 0
+					}
+					weight[l.ID] -= w
+					if weight[l.ID] < 0 {
+						weight[l.ID] = 0
+					}
+				}
+			}
+		}
+		if frozeAny {
+			continue
+		}
+		// Otherwise freeze every unfrozen flow that crosses a
+		// bottleneck link (a link whose fill level equals λ) at
+		// λ×weight.
+		const eps = 1e-9
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			w := f.weight()
+			bottlenecked := false
+			for _, l := range f.Path {
+				if weight[l.ID] > 0 && avail[l.ID]/weight[l.ID] <= level*(1+eps)+eps {
+					bottlenecked = true
+					break
+				}
+			}
+			if bottlenecked {
+				r := level * w
+				rate[i] = r
+				frozen[i] = true
+				unfrozen--
+				frozeAny = true
+				for _, l := range f.Path {
+					avail[l.ID] -= r
+					if avail[l.ID] < 0 {
+						avail[l.ID] = 0
+					}
+					weight[l.ID] -= w
+					if weight[l.ID] < 0 {
+						weight[l.ID] = 0
+					}
+				}
+			}
+		}
+		if !frozeAny {
+			// Cannot happen: some link always attains the level.
+			panic("netsim: progressive filling made no progress")
+		}
+	}
+
+	for i, f := range flows {
+		f.Rate = rate[i]
+		for _, l := range f.Path {
+			n.linkRate[l.ID] += rate[i]
+		}
+	}
+}
+
+// LinkRate returns the total allocated rate on a link in bits/s.
+func (n *Network) LinkRate(id LinkID) float64 {
+	if int(id) < 0 || int(id) >= len(n.linkRate) {
+		return 0
+	}
+	return n.linkRate[id]
+}
+
+// Utilization returns allocated/capacity for a link, in [0,1].
+func (n *Network) Utilization(id LinkID) float64 {
+	l := n.topo.Link(id)
+	if l == nil {
+		return 0
+	}
+	u := n.linkRate[id] / l.Capacity
+	if u > 1 {
+		u = 1 // numerical safety; allocation never exceeds capacity
+	}
+	return u
+}
+
+// FlowsOn returns the number of flows crossing a link.
+func (n *Network) FlowsOn(id LinkID) int {
+	c := 0
+	for _, f := range n.flows {
+		for _, l := range f.Path {
+			if l.ID == id {
+				c++
+				break
+			}
+		}
+	}
+	return c
+}
+
+// ActiveFlowsOn returns the number of flows crossing a link with positive
+// demand — what an operator sees as "currently sending" when sizing
+// per-flow guidance.
+func (n *Network) ActiveFlowsOn(id LinkID) int {
+	c := 0
+	for _, f := range n.flows {
+		if f.Demand <= 0 {
+			continue
+		}
+		for _, l := range f.Path {
+			if l.ID == id {
+				c++
+				break
+			}
+		}
+	}
+	return c
+}
+
+// QueueDelay estimates the queueing delay added by a link at its current
+// utilization, using a capped M/M/1-style growth curve: delay rises as
+// util/(1-util), capped at 50× the propagation delay (a bufferbloat bound).
+func (n *Network) QueueDelay(id LinkID) time.Duration {
+	l := n.topo.Link(id)
+	if l == nil {
+		return 0
+	}
+	u := n.Utilization(id)
+	if u >= 0.999 {
+		u = 0.999
+	}
+	base := l.Delay
+	if base == 0 {
+		base = time.Millisecond
+	}
+	q := time.Duration(float64(base) * 0.5 * u / (1 - u))
+	if max := 50 * base; q > max {
+		q = max
+	}
+	return q
+}
+
+// PathRTT returns the round-trip time of a path including queueing delay on
+// the forward direction (the reverse/ACK direction is approximated as
+// uncongested, which matches the download-dominated scenarios here).
+func (n *Network) PathRTT(p Path) time.Duration {
+	rtt := 2 * p.PropDelay()
+	for _, l := range p {
+		rtt += n.QueueDelay(l.ID)
+	}
+	return rtt
+}
+
+// LossRate estimates the packet loss probability on a link: zero below 90%
+// utilization, rising quadratically to 5% at full utilization. This feeds
+// the network-level features used by the inference baseline (Figure 4).
+func (n *Network) LossRate(id LinkID) float64 {
+	u := n.Utilization(id)
+	if u <= 0.9 {
+		return 0
+	}
+	x := (u - 0.9) / 0.1
+	return 0.05 * x * x
+}
+
+// PathLoss returns the combined loss probability along a path.
+func (n *Network) PathLoss(p Path) float64 {
+	keep := 1.0
+	for _, l := range p {
+		keep *= 1 - n.LossRate(l.ID)
+	}
+	return 1 - keep
+}
+
+// CongestionLevel classifies a link's utilization for I2A export.
+type CongestionLevel int
+
+const (
+	// CongestionNone: utilization below 70%.
+	CongestionNone CongestionLevel = iota
+	// CongestionModerate: utilization in [70%, 90%).
+	CongestionModerate
+	// CongestionHigh: utilization in [90%, 98%).
+	CongestionHigh
+	// CongestionSevere: utilization at or above 98%.
+	CongestionSevere
+)
+
+// String returns the lowercase name of the level.
+func (c CongestionLevel) String() string {
+	switch c {
+	case CongestionNone:
+		return "none"
+	case CongestionModerate:
+		return "moderate"
+	case CongestionHigh:
+		return "high"
+	case CongestionSevere:
+		return "severe"
+	default:
+		return fmt.Sprintf("CongestionLevel(%d)", int(c))
+	}
+}
+
+// Congestion classifies the current utilization of a link.
+func (n *Network) Congestion(id LinkID) CongestionLevel {
+	u := n.Utilization(id)
+	switch {
+	case u >= 0.98:
+		return CongestionSevere
+	case u >= 0.90:
+		return CongestionHigh
+	case u >= 0.70:
+		return CongestionModerate
+	default:
+		return CongestionNone
+	}
+}
+
+// Headroom returns the unallocated capacity of a link in bits/s.
+func (n *Network) Headroom(id LinkID) float64 {
+	l := n.topo.Link(id)
+	if l == nil {
+		return 0
+	}
+	h := l.Capacity - n.linkRate[id]
+	if h < 0 {
+		h = 0
+	}
+	return h
+}

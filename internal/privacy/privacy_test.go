@@ -1,0 +1,136 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSuppressSmallGroups(t *testing.T) {
+	in := map[string]uint64{"big": 100, "medium": 10, "tiny": 3}
+	out := SuppressSmallGroups(in, 10)
+	if _, ok := out["tiny"]; ok {
+		t.Error("tiny group not suppressed")
+	}
+	if out["big"] != 100 || out["medium"] != 10 {
+		t.Error("groups at or above k must survive")
+	}
+	if len(in) != 3 {
+		t.Error("input map modified")
+	}
+	all := SuppressSmallGroups(in, 0)
+	if len(all) != 3 {
+		t.Error("k=0 should suppress nothing")
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	scale := 2.0
+	sum, sumAbs := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := Laplace(rng, scale)
+		sum += v
+		sumAbs += math.Abs(v)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ≈0", mean)
+	}
+	// E|X| = scale for Laplace.
+	if meanAbs := sumAbs / n; math.Abs(meanAbs-scale) > 0.05 {
+		t.Errorf("Laplace E|X| = %v, want %v", meanAbs, scale)
+	}
+	if Laplace(rng, 0) != 0 || Laplace(rng, -1) != 0 {
+		t.Error("non-positive scale should produce zero noise")
+	}
+}
+
+func TestNoiserDisabled(t *testing.T) {
+	n := NewNoiser(0, 1, 1)
+	if n.Noise(42) != 42 {
+		t.Error("ε=0 should disable noise")
+	}
+}
+
+func TestNoiserScalesWithEpsilon(t *testing.T) {
+	spread := func(eps float64) float64 {
+		n := NewNoiser(eps, 1, 7)
+		s := 0.0
+		for i := 0; i < 10000; i++ {
+			s += math.Abs(n.Noise(0))
+		}
+		return s / 10000
+	}
+	tight, loose := spread(10), spread(0.1)
+	if loose < 10*tight {
+		t.Errorf("noise at ε=0.1 (%v) should dwarf ε=10 (%v)", loose, tight)
+	}
+}
+
+func TestNoisyCountNonNegative(t *testing.T) {
+	n := NewNoiser(0.01, 1, 3)
+	for i := 0; i < 1000; i++ {
+		if n.NoisyCount(1) < 0 {
+			t.Fatal("NoisyCount went negative")
+		}
+	}
+}
+
+func TestCoarsenFloat(t *testing.T) {
+	if got := CoarsenFloat(0.87, 0.05); math.Abs(got-0.85) > 1e-12 {
+		t.Errorf("CoarsenFloat = %v, want 0.85", got)
+	}
+	if CoarsenFloat(3.7, 0) != 3.7 {
+		t.Error("step 0 should be identity")
+	}
+}
+
+func TestCoarsenDuration(t *testing.T) {
+	d := 7*time.Minute + 23*time.Second
+	if got := CoarsenDuration(d, 5*time.Minute); got != 5*time.Minute {
+		t.Errorf("CoarsenDuration = %v, want 5m", got)
+	}
+	if CoarsenDuration(d, 0) != d {
+		t.Error("granularity 0 should be identity")
+	}
+}
+
+// Property: suppression keeps exactly the groups with count ≥ k, and never
+// invents counts.
+func TestQuickSuppression(t *testing.T) {
+	f := func(counts map[int8]uint8, k uint8) bool {
+		in := make(map[int8]uint64, len(counts))
+		for key, c := range counts {
+			in[key] = uint64(c)
+		}
+		out := SuppressSmallGroups(in, uint64(k))
+		for key, c := range in {
+			_, kept := out[key]
+			want := uint64(k) <= 1 || c >= uint64(k)
+			if kept != want || (kept && out[key] != c) {
+				return false
+			}
+		}
+		return len(out) <= len(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coarsening never increases a value and moves it by less than
+// one step.
+func TestQuickCoarsenFloat(t *testing.T) {
+	f := func(vRaw int16, stepRaw uint8) bool {
+		v := float64(vRaw) / 10
+		step := float64(stepRaw%50)/100 + 0.01
+		got := CoarsenFloat(v, step)
+		return got <= v+1e-9 && v-got < step+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

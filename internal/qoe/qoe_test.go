@@ -1,0 +1,163 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBufferingRatio(t *testing.T) {
+	m := SessionMetrics{PlayTime: 90 * time.Second, BufferingTime: 10 * time.Second}
+	if got := m.BufferingRatio(); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("ratio = %v, want 0.1", got)
+	}
+	if (SessionMetrics{}).BufferingRatio() != 0 {
+		t.Error("empty session should have zero buffering ratio")
+	}
+}
+
+func TestBitrateUtilityMonotone(t *testing.T) {
+	mo := DefaultModel()
+	prev := -1.0
+	for _, bps := range []float64{0, 1e5, 5e5, 1e6, 2e6, 4e6, 8e6} {
+		u := mo.BitrateUtility(bps)
+		if u < prev {
+			t.Errorf("utility decreased at %v: %v < %v", bps, u, prev)
+		}
+		if u < 0 || u > 1 {
+			t.Errorf("utility out of range at %v: %v", bps, u)
+		}
+		prev = u
+	}
+	if mo.BitrateUtility(mo.MaxBitrate) != 1 {
+		t.Errorf("utility at MaxBitrate = %v, want 1", mo.BitrateUtility(mo.MaxBitrate))
+	}
+	if mo.BitrateUtility(2*mo.MaxBitrate) != 1 {
+		t.Error("utility above MaxBitrate should clamp to 1")
+	}
+}
+
+func TestScorePerfectSession(t *testing.T) {
+	mo := DefaultModel()
+	m := SessionMetrics{
+		StartupDelay: time.Second,
+		PlayTime:     10 * time.Minute,
+		AvgBitrate:   mo.MaxBitrate,
+	}
+	if got := mo.Score(m); got != 100 {
+		t.Errorf("perfect score = %v, want 100", got)
+	}
+}
+
+func TestScoreBufferingDominates(t *testing.T) {
+	mo := DefaultModel()
+	good := SessionMetrics{PlayTime: 10 * time.Minute, AvgBitrate: 4e6, StartupDelay: time.Second}
+	bad := good
+	bad.BufferingTime = 2 * time.Minute // ~16.7% buffering
+	if mo.Score(bad) >= mo.Score(good) {
+		t.Error("buffering did not reduce score")
+	}
+	// 25% buffering at max bitrate should floor the score.
+	floored := SessionMetrics{PlayTime: 45 * time.Second, BufferingTime: 15 * time.Second, AvgBitrate: mo.MaxBitrate}
+	if got := mo.Score(floored); got != 0 {
+		t.Errorf("score at 25%% buffering = %v, want 0", got)
+	}
+}
+
+func TestScoreStartupAndSwitchPenalties(t *testing.T) {
+	mo := DefaultModel()
+	base := SessionMetrics{PlayTime: 10 * time.Minute, AvgBitrate: 2e6, StartupDelay: time.Second}
+	slow := base
+	slow.StartupDelay = 10 * time.Second
+	if mo.Score(slow) >= mo.Score(base) {
+		t.Error("startup delay did not reduce score")
+	}
+	switched := base
+	switched.CDNSwitches = 3
+	if got, want := mo.Score(base)-mo.Score(switched), 3*mo.SwitchPenalty; math.Abs(got-want) > 1e-9 {
+		t.Errorf("CDN switch penalty = %v, want %v", got, want)
+	}
+}
+
+func TestEngagementSlope(t *testing.T) {
+	mo := DefaultModel()
+	perfect := SessionMetrics{PlayTime: time.Hour}
+	if got := mo.EngagementMinutes(perfect, 60); got != 60 {
+		t.Errorf("perfect engagement = %v, want 60", got)
+	}
+	// 1% buffering loses ~3 minutes.
+	onePct := SessionMetrics{PlayTime: 99 * time.Minute, BufferingTime: time.Minute}
+	if got := mo.EngagementMinutes(onePct, 60); math.Abs(got-57) > 0.01 {
+		t.Errorf("engagement at 1%% buffering = %v, want 57", got)
+	}
+	terrible := SessionMetrics{PlayTime: time.Minute, BufferingTime: time.Hour}
+	if got := mo.EngagementMinutes(terrible, 60); got != 0 {
+		t.Errorf("engagement should clamp at 0, got %v", got)
+	}
+}
+
+func TestAbandonment(t *testing.T) {
+	if AbandonmentProbability(time.Second) != 0 {
+		t.Error("fast startup should never abandon")
+	}
+	p3 := AbandonmentProbability(3 * time.Second)
+	if math.Abs(p3-0.058) > 1e-9 {
+		t.Errorf("P(abandon|3s) = %v, want 0.058", p3)
+	}
+	if AbandonmentProbability(time.Hour) != 0.9 {
+		t.Error("abandonment should cap at 0.9")
+	}
+}
+
+func TestWebScore(t *testing.T) {
+	if WebScore(WebMetrics{PageLoadTime: 500 * time.Millisecond}) != 100 {
+		t.Error("sub-second load should score 100")
+	}
+	if WebScore(WebMetrics{PageLoadTime: 10 * time.Second}) != 0 {
+		t.Error("10s load should score 0")
+	}
+	if WebScore(WebMetrics{PageLoadTime: time.Second, Aborted: true}) != 0 {
+		t.Error("aborted load should score 0")
+	}
+	mid := WebScore(WebMetrics{PageLoadTime: 3 * time.Second})
+	if mid <= 0 || mid >= 100 {
+		t.Errorf("3s load score = %v, want in (0,100)", mid)
+	}
+}
+
+func TestWebScoreMonotone(t *testing.T) {
+	prev := 101.0
+	for s := 1; s <= 9; s++ {
+		got := WebScore(WebMetrics{PageLoadTime: time.Duration(s) * time.Second})
+		if got > prev {
+			t.Errorf("WebScore increased at %ds: %v > %v", s, got, prev)
+		}
+		prev = got
+	}
+}
+
+// Property: scores are always within [0,100] and adding buffering never
+// raises a score.
+func TestQuickScoreBounds(t *testing.T) {
+	mo := DefaultModel()
+	f := func(playSec, bufSec, startMs uint16, brKbps uint16, switches uint8) bool {
+		m := SessionMetrics{
+			StartupDelay:  time.Duration(startMs) * time.Millisecond,
+			PlayTime:      time.Duration(playSec) * time.Second,
+			BufferingTime: time.Duration(bufSec) * time.Second,
+			AvgBitrate:    float64(brKbps) * 1000,
+			CDNSwitches:   int(switches),
+		}
+		s := mo.Score(m)
+		if s < 0 || s > 100 {
+			return false
+		}
+		worse := m
+		worse.BufferingTime += 10 * time.Second
+		return mo.Score(worse) <= s+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

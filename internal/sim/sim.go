@@ -1,0 +1,199 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking by sequence number), which makes every run
+// bit-for-bit reproducible given the same seed. All EONA experiments run on
+// top of this engine so that results in EXPERIMENTS.md can be regenerated
+// exactly.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time = time.Duration
+
+// Event is a scheduled callback. The callback receives the engine so that it
+// can schedule further events.
+type Event struct {
+	at  Time
+	seq uint64
+	fn  func(*Engine)
+
+	index     int // heap index; -1 when not queued
+	cancelled bool
+}
+
+// At reports the virtual time at which the event fires.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all model code runs inside event callbacks on the calling
+// goroutine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// Processed counts events that have fired, for diagnostics and as a
+	// runaway guard in tests.
+	Processed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// Engines with equal seeds and equal schedules produce identical runs.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Len returns the number of pending (non-cancelled) events.
+func (e *Engine) Len() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrPastEvent is returned by ScheduleAt when the requested time is before
+// the current virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// ScheduleAt schedules fn to run at absolute virtual time at. It panics if
+// at is before Now; simulations that need "as soon as possible" semantics
+// should pass Now().
+func (e *Engine) ScheduleAt(at Time, fn func(*Engine)) *Event {
+	if at < e.now {
+		panic(fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Schedule schedules fn to run after delay d (relative to Now).
+func (e *Engine) Schedule(d time.Duration, fn func(*Engine)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+}
+
+// Every schedules fn to run every period, starting after the first period
+// elapses. The returned stop function cancels the ticker. If fn returns
+// false the ticker stops itself.
+func (e *Engine) Every(period time.Duration, fn func(*Engine) bool) (stop func()) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	stopped := false
+	var tick func(*Engine)
+	tick = func(en *Engine) {
+		if stopped {
+			return
+		}
+		if !fn(en) {
+			stopped = true
+			return
+		}
+		if !stopped {
+			en.Schedule(period, tick)
+		}
+	}
+	e.Schedule(period, tick)
+	return func() { stopped = true }
+}
+
+// Stop halts the run loop after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the queue is empty, Stop is called, or the
+// clock would pass horizon (events at exactly horizon still fire). It
+// returns the virtual time at which processing stopped.
+func (e *Engine) Run(horizon Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		e.Processed++
+		next.fn(e)
+	}
+	if e.now < horizon && !e.stopped {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// RunUntilIdle processes events until none remain or Stop is called.
+func (e *Engine) RunUntilIdle() Time {
+	return e.Run(Time(1<<63 - 1))
+}

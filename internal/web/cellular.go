@@ -1,0 +1,96 @@
+// Package web models the Figure 1(a) delivery chain — web browsing over a
+// cellular network — well enough to reproduce the paper's Figure 4 in its
+// native setting: a cellular InfP trying to estimate web experience from
+// radio and flow-level statistics versus receiving it directly over
+// EONA-A2I.
+//
+// The model has two parts: a radio access channel whose state (signal
+// quality, congestion, inter-RAT handovers — the "IRAT handover, etc." of
+// Figure 4) determines bandwidth and latency, and a page-load model that
+// turns a page's resource structure plus the channel into a time-to-first-
+// byte and a page-load time.
+package web
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RadioState is the coarse radio condition a cellular operator observes
+// per bearer.
+type RadioState int
+
+const (
+	// RadioGood: strong signal, modern cell.
+	RadioGood RadioState = iota
+	// RadioFair: mid-cell, moderate interference.
+	RadioFair
+	// RadioPoor: cell edge or indoor, weak signal.
+	RadioPoor
+)
+
+// String names the state.
+func (r RadioState) String() string {
+	switch r {
+	case RadioGood:
+		return "good"
+	case RadioFair:
+		return "fair"
+	case RadioPoor:
+		return "poor"
+	default:
+		return fmt.Sprintf("RadioState(%d)", int(r))
+	}
+}
+
+// Channel is a sampled cellular bearer: the conditions one page load
+// experiences.
+type Channel struct {
+	State RadioState
+	// Bandwidth is the achievable downlink rate in bits/s after radio
+	// scheduling and cell load.
+	Bandwidth float64
+	// RTT is the radio round-trip (includes core network) —
+	// RAN-dominated.
+	RTT time.Duration
+	// Handovers counts inter-RAT/cell handovers during the load; each
+	// stalls the bearer for HandoverPause.
+	Handovers int
+	// CellLoad is the sector's utilization in [0,1] (scheduler sharing).
+	CellLoad float64
+}
+
+// HandoverPause is the bearer outage per handover.
+const HandoverPause = 300 * time.Millisecond
+
+// SampleChannel draws a channel from a realistic mix: mostly good/fair
+// radio, load-dependent bandwidth, heavy-tailed RTT, occasional handovers
+// (mobility).
+func SampleChannel(rng *rand.Rand) Channel {
+	var c Channel
+	switch p := rng.Float64(); {
+	case p < 0.5:
+		c.State = RadioGood
+		c.Bandwidth = 8e6 + rng.Float64()*22e6
+		c.RTT = time.Duration(30+rng.Intn(30)) * time.Millisecond
+	case p < 0.85:
+		c.State = RadioFair
+		c.Bandwidth = 2e6 + rng.Float64()*6e6
+		c.RTT = time.Duration(50+rng.Intn(60)) * time.Millisecond
+	default:
+		c.State = RadioPoor
+		c.Bandwidth = 0.3e6 + rng.Float64()*1.2e6
+		c.RTT = time.Duration(90+rng.Intn(160)) * time.Millisecond
+	}
+	c.CellLoad = rng.Float64()
+	// Cell load steals scheduler slots: effective bandwidth shrinks.
+	c.Bandwidth *= 1 - 0.7*c.CellLoad
+	// Queueing under load inflates RTT.
+	c.RTT += time.Duration(float64(60*time.Millisecond) * c.CellLoad * c.CellLoad)
+	// Mobility: ~20% of loads see at least one handover.
+	if rng.Float64() < 0.2 {
+		c.Handovers = 1 + rng.Intn(2)
+	}
+	return c
+}

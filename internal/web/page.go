@@ -1,0 +1,50 @@
+package web
+
+import (
+	"math/rand"
+	"time"
+
+	"eona/internal/qoe"
+)
+
+// Page describes the load-relevant structure of a web page: how many bytes
+// must arrive and how many sequential round-trip "waves" the dependency
+// graph forces (HTML → CSS/JS → fonts/images → XHR is 3–4 waves on typical
+// pages).
+type Page struct {
+	// TotalBytes across all critical resources.
+	TotalBytes int
+	// Waves is the critical-path depth in round trips.
+	Waves int
+	// ServerThinkTime is origin processing before the first byte.
+	ServerThinkTime time.Duration
+}
+
+// SamplePage draws a page from a realistic mix (landing pages to article
+// pages): 200 KB–2.5 MB, 2–5 waves.
+func SamplePage(rng *rand.Rand) Page {
+	return Page{
+		TotalBytes:      200_000 + rng.Intn(2_300_000),
+		Waves:           2 + rng.Intn(4),
+		ServerThinkTime: time.Duration(30+rng.Intn(170)) * time.Millisecond,
+	}
+}
+
+// Load computes the page-load outcome over a channel using the standard
+// first-order PLT model: a connection-setup and first-byte phase
+// (TTFB = 2×RTT + think), then one RTT per dependency wave, the transfer
+// time of the critical bytes at the channel bandwidth, and a fixed pause
+// per handover. Aborted is set when the load would exceed the patience
+// bound (15s), after which real users are gone.
+func Load(p Page, c Channel) qoe.WebMetrics {
+	ttfb := 2*c.RTT + p.ServerThinkTime
+	transfer := time.Duration(float64(p.TotalBytes*8) / c.Bandwidth * float64(time.Second))
+	plt := ttfb + time.Duration(p.Waves)*c.RTT + transfer +
+		time.Duration(c.Handovers)*HandoverPause
+	const patience = 15 * time.Second
+	m := qoe.WebMetrics{TTFB: ttfb, PageLoadTime: plt}
+	if plt > patience {
+		m.Aborted = true
+	}
+	return m
+}

@@ -1,0 +1,167 @@
+package web
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eona/internal/qoe"
+)
+
+func TestRadioStateStrings(t *testing.T) {
+	if RadioGood.String() != "good" || RadioFair.String() != "fair" || RadioPoor.String() != "poor" {
+		t.Error("radio state strings wrong")
+	}
+	if RadioState(9).String() == "" {
+		t.Error("unknown state should still render")
+	}
+}
+
+func TestSampleChannelDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[RadioState]int{}
+	for i := 0; i < 5000; i++ {
+		c := SampleChannel(rng)
+		counts[c.State]++
+		if c.Bandwidth <= 0 {
+			t.Fatalf("non-positive bandwidth: %+v", c)
+		}
+		if c.RTT < 30*time.Millisecond {
+			t.Fatalf("RTT below radio floor: %+v", c)
+		}
+		if c.CellLoad < 0 || c.CellLoad > 1 {
+			t.Fatalf("cell load out of range: %+v", c)
+		}
+	}
+	if counts[RadioGood] < 2000 || counts[RadioPoor] > 1200 {
+		t.Errorf("state mix off: %v", counts)
+	}
+}
+
+func TestChannelQualityOrdering(t *testing.T) {
+	// Averaged over many samples, good radio must deliver more
+	// bandwidth and less RTT than poor radio.
+	rng := rand.New(rand.NewSource(2))
+	var bw [3]float64
+	var rtt [3]time.Duration
+	var n [3]int
+	for i := 0; i < 20000; i++ {
+		c := SampleChannel(rng)
+		bw[c.State] += c.Bandwidth
+		rtt[c.State] += c.RTT
+		n[c.State]++
+	}
+	for s := 0; s < 3; s++ {
+		if n[s] == 0 {
+			t.Fatalf("state %d never sampled", s)
+		}
+		bw[s] /= float64(n[s])
+		rtt[s] /= time.Duration(n[s])
+	}
+	if !(bw[RadioGood] > bw[RadioFair] && bw[RadioFair] > bw[RadioPoor]) {
+		t.Errorf("bandwidth ordering broken: %v", bw)
+	}
+	if !(rtt[RadioGood] < rtt[RadioFair] && rtt[RadioFair] < rtt[RadioPoor]) {
+		t.Errorf("RTT ordering broken: %v", rtt)
+	}
+}
+
+func TestLoadComposition(t *testing.T) {
+	p := Page{TotalBytes: 1_000_000, Waves: 3, ServerThinkTime: 100 * time.Millisecond}
+	c := Channel{State: RadioGood, Bandwidth: 8e6, RTT: 50 * time.Millisecond}
+	m := Load(p, c)
+	wantTTFB := 200 * time.Millisecond // 2×RTT + think
+	if m.TTFB != wantTTFB {
+		t.Errorf("TTFB = %v, want %v", m.TTFB, wantTTFB)
+	}
+	// PLT = TTFB + 3×RTT + 8Mb/8Mbps + 0 handovers = 0.2+0.15+1.0
+	want := wantTTFB + 150*time.Millisecond + time.Second
+	if m.PageLoadTime != want {
+		t.Errorf("PLT = %v, want %v", m.PageLoadTime, want)
+	}
+	if m.Aborted {
+		t.Error("1.35s load should not abort")
+	}
+}
+
+func TestLoadHandoverPenalty(t *testing.T) {
+	p := Page{TotalBytes: 500_000, Waves: 2, ServerThinkTime: 50 * time.Millisecond}
+	base := Load(p, Channel{Bandwidth: 5e6, RTT: 60 * time.Millisecond})
+	ho := Load(p, Channel{Bandwidth: 5e6, RTT: 60 * time.Millisecond, Handovers: 2})
+	if got := ho.PageLoadTime - base.PageLoadTime; got != 2*HandoverPause {
+		t.Errorf("handover penalty = %v, want %v", got, 2*HandoverPause)
+	}
+}
+
+func TestLoadAbortsOnPatience(t *testing.T) {
+	p := Page{TotalBytes: 2_500_000, Waves: 5, ServerThinkTime: 200 * time.Millisecond}
+	c := Channel{State: RadioPoor, Bandwidth: 0.3e6, RTT: 250 * time.Millisecond}
+	m := Load(p, c)
+	if !m.Aborted {
+		t.Errorf("67s load should abort: %+v", m)
+	}
+	if qoe.WebScore(m) != 0 {
+		t.Error("aborted load must score 0")
+	}
+}
+
+func TestSamplePageRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		p := SamplePage(rng)
+		if p.TotalBytes < 200_000 || p.TotalBytes > 2_500_000 {
+			t.Fatalf("page bytes out of range: %d", p.TotalBytes)
+		}
+		if p.Waves < 2 || p.Waves > 5 {
+			t.Fatalf("waves out of range: %d", p.Waves)
+		}
+	}
+}
+
+// Property: PLT is monotone — more bytes, more waves, more RTT, or less
+// bandwidth never makes a page load faster.
+func TestQuickLoadMonotone(t *testing.T) {
+	f := func(bytesK uint16, waves uint8, rttMs uint8, bwKbps uint16) bool {
+		p := Page{
+			TotalBytes:      int(bytesK)*1000 + 1000,
+			Waves:           int(waves%5) + 1,
+			ServerThinkTime: 50 * time.Millisecond,
+		}
+		c := Channel{
+			Bandwidth: float64(bwKbps)*1000 + 100_000,
+			RTT:       time.Duration(int(rttMs)+20) * time.Millisecond,
+		}
+		base := Load(p, c).PageLoadTime
+
+		bigger := p
+		bigger.TotalBytes += 100_000
+		if Load(bigger, c).PageLoadTime < base {
+			return false
+		}
+		deeper := p
+		deeper.Waves++
+		if Load(deeper, c).PageLoadTime < base {
+			return false
+		}
+		slower := c
+		slower.Bandwidth /= 2
+		if Load(p, slower).PageLoadTime < base {
+			return false
+		}
+		laggier := c
+		laggier.RTT += 50 * time.Millisecond
+		return Load(p, laggier).PageLoadTime >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a := SampleChannel(rand.New(rand.NewSource(7)))
+	b := SampleChannel(rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Error("SampleChannel not deterministic per seed")
+	}
+}

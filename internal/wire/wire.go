@@ -1,0 +1,112 @@
+// Package wire defines the EONA exchange format: a small, versioned JSON
+// envelope around typed payloads. The paper leaves format standardization
+// to "some standard body (e.g., IETF)" (§4); this package is the concrete
+// binding this implementation speaks — explicit version string, explicit
+// message type, ISO-agnostic millisecond timestamps, and strict decoding
+// (unknown versions and mismatched types are errors, unknown fields inside
+// payloads are ignored for forward compatibility).
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Version is the protocol version this implementation speaks.
+const Version = "eona/1"
+
+// MessageType tags the payload inside an envelope.
+type MessageType string
+
+// The message types of the EONA interfaces.
+const (
+	// TypeQoESummaries carries []core.QoESummary (A2I).
+	TypeQoESummaries MessageType = "a2i.qoe_summaries"
+	// TypeTrafficEstimates carries []core.TrafficEstimate (A2I).
+	TypeTrafficEstimates MessageType = "a2i.traffic_estimates"
+	// TypePeeringInfo carries []core.PeeringInfo (I2A).
+	TypePeeringInfo MessageType = "i2a.peering_info"
+	// TypeAttribution carries core.Attribution (I2A).
+	TypeAttribution MessageType = "i2a.attribution"
+	// TypeServerHints carries []core.ServerHint (I2A).
+	TypeServerHints MessageType = "i2a.server_hints"
+	// TypeError carries an ErrorBody.
+	TypeError MessageType = "error"
+)
+
+var knownTypes = map[MessageType]bool{
+	TypeQoESummaries:     true,
+	TypeTrafficEstimates: true,
+	TypePeeringInfo:      true,
+	TypeAttribution:      true,
+	TypeServerHints:      true,
+	TypeError:            true,
+}
+
+// Envelope is the outer message framing.
+type Envelope struct {
+	Version string      `json:"version"`
+	Type    MessageType `json:"type"`
+	// GeneratedAtMs is the producer's clock (virtual or wall) in
+	// milliseconds — consumers use it to judge staleness.
+	GeneratedAtMs int64           `json:"generated_at_ms"`
+	Payload       json.RawMessage `json:"payload"`
+}
+
+// ErrorBody is the payload of a TypeError message.
+type ErrorBody struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Encoding and decoding errors.
+var (
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	ErrType    = errors.New("wire: unknown or mismatched message type")
+)
+
+// Encode wraps payload in a versioned envelope.
+func Encode(t MessageType, generatedAtMs int64, payload any) ([]byte, error) {
+	if !knownTypes[t] {
+		return nil, fmt.Errorf("%w: %q", ErrType, t)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal payload: %w", err)
+	}
+	return json.Marshal(Envelope{
+		Version:       Version,
+		Type:          t,
+		GeneratedAtMs: generatedAtMs,
+		Payload:       raw,
+	})
+}
+
+// Decode parses an envelope and validates its version and type.
+func Decode(data []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: malformed envelope: %w", err)
+	}
+	if env.Version != Version {
+		return Envelope{}, fmt.Errorf("%w: %q", ErrVersion, env.Version)
+	}
+	if !knownTypes[env.Type] {
+		return Envelope{}, fmt.Errorf("%w: %q", ErrType, env.Type)
+	}
+	return env, nil
+}
+
+// DecodePayload parses an envelope's payload as T after checking the
+// envelope carries the expected type.
+func DecodePayload[T any](env Envelope, want MessageType) (T, error) {
+	var v T
+	if env.Type != want {
+		return v, fmt.Errorf("%w: have %q, want %q", ErrType, env.Type, want)
+	}
+	if err := json.Unmarshal(env.Payload, &v); err != nil {
+		return v, fmt.Errorf("wire: payload for %q: %w", want, err)
+	}
+	return v, nil
+}

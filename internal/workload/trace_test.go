@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := Generate(rng, Spec{
+		Rate:    Constant(2),
+		MaxRate: 2,
+		Horizon: time.Minute,
+		Groups:  NewWeightedChoice([]string{"isp-a", "isp-b"}, []float64{1, 1}),
+	})
+	if len(orig) == 0 {
+		t.Fatal("no sessions generated")
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip length %d != %d", len(got), len(orig))
+	}
+	for i := range got {
+		// Times round-trip at millisecond precision.
+		if got[i].ContentID != orig[i].ContentID || got[i].ClientGroup != orig[i].ClientGroup {
+			t.Fatalf("row %d: %+v != %+v", i, got[i], orig[i])
+		}
+		if d := got[i].Arrival - orig[i].Arrival.Truncate(time.Millisecond); d != 0 {
+			t.Fatalf("row %d arrival drift %v", i, d)
+		}
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty trace round trip = %d sessions", len(got))
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"bad header":    "a,b,c,d\n1,2,g,3\n",
+		"neg arrival":   "arrival_ms,content_id,client_group,intended_duration_ms\n-5,1,g,100\n",
+		"bad content":   "arrival_ms,content_id,client_group,intended_duration_ms\n1,x,g,100\n",
+		"zero duration": "arrival_ms,content_id,client_group,intended_duration_ms\n1,2,g,0\n",
+		"unsorted":      "arrival_ms,content_id,client_group,intended_duration_ms\n50,1,g,100\n10,1,g,100\n",
+		"short row":     "arrival_ms,content_id,client_group,intended_duration_ms\n1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadTraceEmptyInput(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail (no header)")
+	}
+}
