@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# Tier-1 gate: everything a PR must pass before merging.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -102,6 +102,9 @@ func BenchmarkE7Scalability(b *testing.B) {
 	b.ReportMetric(r.CollectorPerSec, "ingest-rec/s")
 	b.ReportMetric(r.ImpliedSessionsPerDay/1e9, "sessions-B/day")
 	b.ReportMetric(float64(r.QueryP50.Microseconds()), "query-p50-us")
+	b.ReportMetric(r.ChurnFullPerSec/1e3, "churn-full-kmut/s")
+	b.ReportMetric(r.ChurnIncrementalPerSec/1e3, "churn-incr-kmut/s")
+	b.ReportMetric(r.ChurnSpeedup, "churn-speedup")
 }
 
 // BenchmarkE8InterfaceWidth — §4: interface width ladder.

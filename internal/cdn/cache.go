@@ -75,10 +75,16 @@ func (c *Cache) Request(id ContentID) (hit bool) {
 }
 
 // Warm inserts objects without counting misses — used to set up
-// already-popular content at scenario start.
+// already-popular content at scenario start. Warming an already-cached
+// object refreshes it to most-recently-used: re-warmed popular content must
+// not linger at the LRU tail where the next fill wave would evict it first.
 func (c *Cache) Warm(ids ...ContentID) {
 	for _, id := range ids {
-		if c.Contains(id) || c.capacity == 0 {
+		if e, ok := c.index[id]; ok {
+			c.ll.MoveToFront(e)
+			continue
+		}
+		if c.capacity == 0 {
 			continue
 		}
 		if c.ll.Len() >= c.capacity {

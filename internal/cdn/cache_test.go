@@ -81,13 +81,32 @@ func TestCacheWarm(t *testing.T) {
 	if !c.Request(2) {
 		t.Error("warmed object should hit")
 	}
-	c.Warm(2) // already present: no-op
+	c.Warm(2) // already present: refreshed, not duplicated
 	if c.Len() != 3 {
 		t.Error("Warm duplicated an object")
 	}
 	c.Warm(4) // evicts LRU
 	if c.Len() != 3 {
 		t.Errorf("Len after over-warm = %d, want 3", c.Len())
+	}
+}
+
+// Regression: re-warming an already-cached object must refresh its recency,
+// otherwise re-warmed popular content sits at the LRU tail and is evicted
+// first by the next insertion wave.
+func TestCacheWarmRefreshesRecency(t *testing.T) {
+	c := NewCache(2)
+	c.Warm(1, 2) // order (MRU→LRU): 2, 1
+	c.Warm(1)    // re-warm 1: order must become 1, 2
+	c.Warm(3)    // evicts the true LRU
+	if !c.Contains(1) {
+		t.Error("re-warmed object evicted: Warm did not refresh recency")
+	}
+	if c.Contains(2) {
+		t.Error("stale object survived over re-warmed one")
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("re-warm counted hits/misses: %d/%d", hits, misses)
 	}
 }
 

@@ -186,17 +186,20 @@ func RunE1Arm(cfg E1Config) E1Result {
 				return
 			}
 			// Baseline reaction (and EONA reaction to non-access
-			// problems): switch to the other CDN.
+			// problems): switch to the other CDN. The switch is one
+			// batched reallocation: new flow up, old flow down.
 			other := e1CDN1
 			if s.cdn == e1CDN1 {
 				other = e1CDN2
 			}
-			conn, err := connect(other)
-			if err != nil {
-				return
-			}
-			s.cdn = other
-			s.p.Redirect(conn, 2*time.Second, player.SwitchCDN)
+			net.Batch(func() {
+				conn, err := connect(other)
+				if err != nil {
+					return
+				}
+				s.cdn = other
+				s.p.Redirect(conn, 2*time.Second, player.SwitchCDN)
+			})
 		}
 	}
 
@@ -209,11 +212,17 @@ func RunE1Arm(cfg E1Config) E1Result {
 			if i%2 == 1 {
 				cdnName = e1CDN2
 			}
-			conn, err := connect(cdnName)
+			// Session setup — flow attach plus the player's initial
+			// demand parking — is one batched reallocation.
+			var conn player.Conn
+			var err error
+			s := &session{cdn: cdnName, idx: i}
+			net.BeginBatch()
+			conn, err = connect(cdnName)
 			if err != nil {
+				net.EndBatch()
 				return
 			}
-			s := &session{cdn: cdnName, idx: i}
 			// Flash crowds are live-event traffic: small buffers
 			// (latency-bound), segment-committed adaptation, and
 			// conservative smoothing — the regime where
@@ -233,6 +242,7 @@ func RunE1Arm(cfg E1Config) E1Result {
 				collector.Ingest(core.RecordFrom(model, m, sid, "vod", "isp1", s.cdn, "-", e.Now()))
 			}
 			s.p.Start(conn, 500*time.Millisecond)
+			net.EndBatch()
 			control.NewMonitor(e, s.p, control.MonitorConfig{}, react(s))
 			active = append(active, s)
 			all = append(all, s)

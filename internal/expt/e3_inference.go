@@ -45,11 +45,14 @@ func e3Sample(rng *rand.Rand) ([]float64, float64) {
 	tail := topo.AddLink("edge", "server", 1e9, 5*time.Millisecond, "tail")
 	net := netsim.NewNetwork(topo)
 
-	// Cross traffic the session contends with.
+	// Cross traffic the session contends with — one batched reallocation
+	// for the whole background mix.
 	nCross := rng.Intn(8)
-	for i := 0; i < nCross; i++ {
-		net.StartFlow(netsim.Path{bottleneck}, 0.5e6+rng.Float64()*6e6, "cross")
-	}
+	net.Batch(func() {
+		for i := 0; i < nCross; i++ {
+			net.StartFlow(netsim.Path{bottleneck}, 0.5e6+rng.Float64()*6e6, "cross")
+		}
+	})
 
 	eng := sim.NewEngine(rng.Int63())
 	path := netsim.Path{bottleneck, tail}

@@ -135,7 +135,12 @@ func RunE4Arm(cfg E4Config) E4Result {
 					na, err := east.AssignTo(alts[0], s.content)
 					if err == nil {
 						s.assign = na
-						s.p.Redirect(connectVia(s, toX, na), 300*time.Millisecond+na.StartupPenalty, player.SwitchServer)
+						// Server switch = one batched
+						// reallocation: new flow + old
+						// flow teardown together.
+						net.Batch(func() {
+							s.p.Redirect(connectVia(s, toX, na), 300*time.Millisecond+na.StartupPenalty, player.SwitchServer)
+						})
 						return
 					}
 				}
@@ -151,7 +156,9 @@ func RunE4Arm(cfg E4Config) E4Result {
 			}
 			s.assign = na
 			s.onCDNX = false
-			s.p.Redirect(connectVia(s, toY, na), time.Second+na.StartupPenalty, player.SwitchCDN)
+			net.Batch(func() {
+				s.p.Redirect(connectVia(s, toY, na), time.Second+na.StartupPenalty, player.SwitchCDN)
+			})
 		}
 	}
 
@@ -184,14 +191,18 @@ func RunE4Arm(cfg E4Config) E4Result {
 	// the player until its monitor reacts).
 	eng.ScheduleAt(cfg.FailAt, func(e *sim.Engine) {
 		east.Servers[0].SetHealthy(false)
-		for _, s := range all {
-			if s.p.Done() || !s.onCDNX || s.assign.Server != east.Servers[0] {
-				continue
+		// Mass churn: every affected flow stops in one batched
+		// reallocation.
+		net.Batch(func() {
+			for _, s := range all {
+				if s.p.Done() || !s.onCDNX || s.assign.Server != east.Servers[0] {
+					continue
+				}
+				s.affected = true
+				s.stallBefore = s.p.Metrics().BufferingTime
+				net.StopFlow(s.curFlow)
 			}
-			s.affected = true
-			s.stallBefore = s.p.Metrics().BufferingTime
-			net.StopFlow(s.curFlow)
-		}
+		})
 	})
 
 	eng.Run(cfg.Horizon)

@@ -210,7 +210,9 @@ func (i *ISP) SetEgress(cdnName, peeringID string) error {
 	}
 	i.egress[cdnName] = p
 	i.EgressChanges++
-	// Re-path live flows for this CDN deterministically (by flow ID).
+	// Re-path live flows for this CDN deterministically (by flow ID),
+	// batched: one TE change re-paths the whole CDN's flow set in a
+	// single reallocation instead of one per flow.
 	ids := make([]netsim.FlowID, 0)
 	for id, rf := range i.flows {
 		if rf.cdn == cdnName {
@@ -218,15 +220,19 @@ func (i *ISP) SetEgress(cdnName, peeringID string) error {
 		}
 	}
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	for _, id := range ids {
-		rf := i.flows[id]
-		np, err := i.PathTo(cdnName, rf.dst)
-		if err != nil {
-			return err
+	var err error
+	i.net.Batch(func() {
+		for _, id := range ids {
+			rf := i.flows[id]
+			np, perr := i.PathTo(cdnName, rf.dst)
+			if perr != nil {
+				err = perr
+				return
+			}
+			i.net.SetPath(rf.flow, np)
 		}
-		i.net.SetPath(rf.flow, np)
-	}
-	return nil
+	})
+	return err
 }
 
 // TrafficVia returns the total allocated rate of this ISP's registered

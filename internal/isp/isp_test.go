@@ -221,3 +221,37 @@ func TestPeeringsFor(t *testing.T) {
 		t.Errorf("peerings for cdnZ = %v, want none", got)
 	}
 }
+
+// A TE change re-paths every registered flow for the CDN in one batched
+// reallocation, not one per flow.
+func TestSetEgressBatchesReallocation(t *testing.T) {
+	net, i, _, linkC := fixture(t)
+	var flows []*netsim.Flow
+	net.Batch(func() {
+		for k := 0; k < 20; k++ {
+			f, err := i.Connect("cdnX", "cdnX", math.Inf(1), "s")
+			if err != nil {
+				t.Fatalf("Connect: %v", err)
+			}
+			flows = append(flows, f)
+		}
+	})
+	before := net.Reallocations
+	if err := i.SetEgress("cdnX", "C"); err != nil {
+		t.Fatalf("SetEgress: %v", err)
+	}
+	if got := net.Reallocations - before; got != 1 {
+		t.Errorf("SetEgress over 20 flows cost %d reallocations, want 1", got)
+	}
+	for _, f := range flows {
+		onC := false
+		for _, l := range f.Path {
+			if l == linkC {
+				onC = true
+			}
+		}
+		if !onC {
+			t.Fatalf("flow %d not re-pathed via C", f.ID)
+		}
+	}
+}

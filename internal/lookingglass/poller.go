@@ -12,11 +12,17 @@ import (
 // read whatever the last successful poll returned, however old it is —
 // which is exactly the staleness the E6 experiment characterizes.
 type Snapshot[T any] struct {
-	mu  sync.RWMutex
-	v   T
-	at  time.Time
-	ok  bool
-	err error
+	mu sync.RWMutex
+	v  T
+	at time.Time
+	ok bool
+	// attemptAt is when the most recent poll finished, successful or
+	// not. While polls fail, at freezes (stale beats absent) but
+	// attemptAt keeps advancing — the signal a control loop needs to
+	// tell "the peer is failing" apart from "the interval is slow".
+	attemptAt time.Time
+	attempted bool
+	err       error
 }
 
 // Get returns the latest value, when it was fetched, and whether any fetch
@@ -44,16 +50,39 @@ func (s *Snapshot[T]) Age(now time.Time) (time.Duration, bool) {
 	return now.Sub(s.at), true
 }
 
+// LastAttempt returns when the most recent poll finished — successful or
+// failed — and false if no poll has completed yet. Together with Get, a
+// control loop can distinguish a failing peer (LastAttempt fresh, fetchedAt
+// stale) from a slow polling interval (both old).
+func (s *Snapshot[T]) LastAttempt() (time.Time, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.attemptAt, s.attempted
+}
+
+// SinceAttempt returns time since the last completed poll attempt, or false
+// if none has completed.
+func (s *Snapshot[T]) SinceAttempt(now time.Time) (time.Duration, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.attempted {
+		return 0, false
+	}
+	return now.Sub(s.attemptAt), true
+}
+
 func (s *Snapshot[T]) set(v T, at time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.v, s.at, s.ok, s.err = v, at, true, nil
+	s.attemptAt, s.attempted = at, true
 }
 
-func (s *Snapshot[T]) fail(err error) {
+func (s *Snapshot[T]) fail(err error, at time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.err = err
+	s.attemptAt, s.attempted = at, true
 }
 
 // Poll fetches fetch() immediately and then every interval until ctx is
@@ -74,7 +103,7 @@ func Poll[T any](ctx context.Context, interval time.Duration, fetch func(context
 		poll := func() {
 			v, err := fetch(ctx)
 			if err != nil {
-				snap.fail(err)
+				snap.fail(err, time.Now())
 				return
 			}
 			snap.set(v, time.Now())

@@ -85,6 +85,83 @@ func TestPollNeverSucceeded(t *testing.T) {
 	}
 }
 
+// Regression: while polls fail, Get's fetchedAt freezes at the last success
+// but LastAttempt keeps advancing — a control loop can tell "failing" from
+// "slow interval". Before the fix, fail() recorded no timestamp and a peer
+// that died kept reporting the stale fetchedAt as its only clock.
+func TestSnapshotLastAttemptAdvancesOnFailure(t *testing.T) {
+	var mu sync.Mutex
+	fail := false
+	fetch := func(context.Context) (string, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fail {
+			return "", errors.New("peer down")
+		}
+		return "fresh", nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	snap, _ := Poll(ctx, 2*time.Millisecond, fetch)
+	waitFor(t, func() bool { _, _, ok := snap.Get(); return ok })
+	_, fetchedAt, _ := snap.Get()
+	firstAttempt, ok := snap.LastAttempt()
+	if !ok {
+		t.Fatal("LastAttempt not recorded after a successful poll")
+	}
+	if firstAttempt.Before(fetchedAt) {
+		t.Errorf("LastAttempt %v before fetchedAt %v after success", firstAttempt, fetchedAt)
+	}
+
+	mu.Lock()
+	fail = true
+	mu.Unlock()
+	waitFor(t, func() bool { return snap.Err() != nil })
+	// Let at least one more failing poll land.
+	waitFor(t, func() bool {
+		at, _ := snap.LastAttempt()
+		return at.After(firstAttempt)
+	})
+
+	_, fetchedAt2, _ := snap.Get()
+	if !fetchedAt2.Equal(fetchedAt) {
+		t.Errorf("fetchedAt moved during outage: %v -> %v", fetchedAt, fetchedAt2)
+	}
+	at, _ := snap.LastAttempt()
+	if !at.After(fetchedAt) {
+		t.Errorf("LastAttempt %v did not advance past stale fetchedAt %v", at, fetchedAt)
+	}
+	if since, ok := snap.SinceAttempt(time.Now()); !ok || since < 0 || since > time.Minute {
+		t.Errorf("SinceAttempt = %v, %v", since, ok)
+	}
+}
+
+func TestSnapshotLastAttemptBeforeAnyPoll(t *testing.T) {
+	var s Snapshot[int]
+	if _, ok := s.LastAttempt(); ok {
+		t.Error("LastAttempt ok with no poll completed")
+	}
+	if _, ok := s.SinceAttempt(time.Now()); ok {
+		t.Error("SinceAttempt ok with no poll completed")
+	}
+}
+
+func TestSnapshotLastAttemptOnNeverSucceeded(t *testing.T) {
+	fetch := func(context.Context) (int, error) { return 0, errors.New("always down") }
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	snap, _ := Poll(ctx, 2*time.Millisecond, fetch)
+	waitFor(t, func() bool { return snap.Err() != nil })
+	if _, _, ok := snap.Get(); ok {
+		t.Error("Get ok with no success")
+	}
+	// Even with zero successes the attempt clock must run: this is what
+	// distinguishes "failing since start" from "not polling at all".
+	if _, ok := snap.LastAttempt(); !ok {
+		t.Error("LastAttempt not recorded for failing-only poller")
+	}
+}
+
 func TestPollBadInterval(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -139,6 +216,8 @@ func TestSnapshotConcurrentAccess(t *testing.T) {
 				snap.Get()
 				snap.Err()
 				snap.Age(time.Now())
+				snap.LastAttempt()
+				snap.SinceAttempt(time.Now())
 			}
 		}()
 	}

@@ -41,29 +41,80 @@ func (f *Flow) weight() float64 {
 // allocation is finite even on an empty path. 1 Gbps.
 const DefaultMaxRate = 1e9
 
+// DefaultIncrementalCutoff is the fraction of active flows above which a
+// dirty recomputation falls back to a full pass: past this point the
+// component search bookkeeping buys nothing over just refilling everything.
+const DefaultIncrementalCutoff = 0.5
+
 // Network owns a topology plus the set of active flows and keeps flow rates
 // max-min fair. It is not safe for concurrent use; all EONA experiments
 // drive it from a single simulator goroutine.
+//
+// Allocation is component-decomposed: flows that (transitively) share a
+// link form a connected component, and each component's rates depend only
+// on that component's flows and links. A mutation therefore recomputes only
+// the components it dirties; rates in untouched components are not written
+// at all, so they stay byte-identical across unrelated churn. Batch /
+// BeginBatch / EndBatch coalesce any number of mutations into a single
+// recomputation of the union of their dirty components.
 type Network struct {
 	topo  *Topology
 	flows map[FlowID]*Flow
 	// linkRate[l] is the current total allocated rate on link l.
 	linkRate []float64
-	nextID   FlowID
+	// linkFlows[l] indexes the flows currently crossing link l, for
+	// component discovery and O(1) FlowsOn.
+	linkFlows []map[FlowID]*Flow
+	nextID    FlowID
 	// MaxRate bounds every flow's rate (models the client NIC / last
-	// hop). Defaults to DefaultMaxRate.
+	// hop). Set it before starting flows, or via SetMaxRate afterwards
+	// (a bare field write is only picked up by the next recomputation
+	// of each component).
 	MaxRate float64
-	// Reallocations counts fair-share recomputations, for benchmarks.
+	// IncrementalCutoff is the fraction of active flows above which a
+	// dirty recomputation falls back to a full pass. Zero forces every
+	// recomputation to be full (useful for differential testing);
+	// NewNetwork sets DefaultIncrementalCutoff.
+	IncrementalCutoff float64
+
+	// Reallocations counts fair-share recomputation events (one per
+	// unbatched mutation or per batch commit), for benchmarks.
 	Reallocations uint64
+	// IncrementalReallocations counts recomputation events that took the
+	// incremental path (a strict subset of Reallocations).
+	IncrementalReallocations uint64
+	// FlowsRecomputed sums the component sizes passed through the
+	// progressive filler — the actual allocator work done.
+	FlowsRecomputed uint64
+
+	// Batching and dirty tracking.
+	batchDepth int
+	pending    bool
+	dirtyAll   bool
+	dirtyFlows map[FlowID]struct{}
+	dirtyLinks map[LinkID]struct{}
+
+	// Scratch buffers reused across fills (indexed by LinkID; only
+	// entries for the component being filled are initialized).
+	scratchAvail  []float64
+	scratchWeight []float64
+	scratchSeenL  []bool
 }
 
 // NewNetwork wraps a topology. The topology must not gain links afterwards.
 func NewNetwork(t *Topology) *Network {
 	return &Network{
-		topo:     t,
-		flows:    make(map[FlowID]*Flow),
-		linkRate: make([]float64, t.NumLinks()),
-		MaxRate:  DefaultMaxRate,
+		topo:              t,
+		flows:             make(map[FlowID]*Flow),
+		linkRate:          make([]float64, t.NumLinks()),
+		linkFlows:         make([]map[FlowID]*Flow, t.NumLinks()),
+		MaxRate:           DefaultMaxRate,
+		IncrementalCutoff: DefaultIncrementalCutoff,
+		dirtyFlows:        make(map[FlowID]struct{}),
+		dirtyLinks:        make(map[LinkID]struct{}),
+		scratchAvail:      make([]float64, t.NumLinks()),
+		scratchWeight:     make([]float64, t.NumLinks()),
+		scratchSeenL:      make([]bool, t.NumLinks()),
 	}
 }
 
@@ -72,6 +123,86 @@ func (n *Network) Topology() *Topology { return n.topo }
 
 // NumFlows returns the number of active flows.
 func (n *Network) NumFlows() int { return len(n.flows) }
+
+// Batch runs fn with reallocation deferred: however many mutations fn
+// performs, rates are recomputed once, over the union of the dirtied
+// components, when fn returns. Batches nest; the recomputation happens when
+// the outermost batch ends. The deferred commit also runs if fn panics, so
+// the network is left consistent while the panic unwinds.
+func (n *Network) Batch(fn func()) {
+	n.BeginBatch()
+	defer n.EndBatch()
+	fn()
+}
+
+// BeginBatch defers reallocation until the matching EndBatch. Prefer Batch,
+// which is panic-safe by construction; with BeginBatch the caller owns the
+// unwinding (defer n.EndBatch()).
+func (n *Network) BeginBatch() { n.batchDepth++ }
+
+// EndBatch closes the innermost batch; closing the outermost batch commits
+// any pending mutations in a single reallocation. EndBatch without a
+// matching BeginBatch panics.
+func (n *Network) EndBatch() {
+	if n.batchDepth == 0 {
+		panic("netsim: EndBatch without BeginBatch")
+	}
+	n.batchDepth--
+	if n.batchDepth == 0 && n.pending {
+		n.pending = false
+		n.reallocate()
+	}
+}
+
+// InBatch reports whether a batch is open. While true, Flow.Rate and link
+// statistics are stale: they reflect the state before the batch began.
+func (n *Network) InBatch() bool { return n.batchDepth > 0 }
+
+// commit triggers a reallocation now, or records that one is owed if a
+// batch is open.
+func (n *Network) commit() {
+	if n.batchDepth > 0 {
+		n.pending = true
+		return
+	}
+	n.reallocate()
+}
+
+func (n *Network) markFlowDirty(f *Flow) {
+	n.dirtyFlows[f.ID] = struct{}{}
+}
+
+func (n *Network) markPathDirty(p Path) {
+	for _, l := range p {
+		n.dirtyLinks[l.ID] = struct{}{}
+	}
+}
+
+func (n *Network) indexFlow(f *Flow) {
+	for _, l := range f.Path {
+		if n.linkFlows[l.ID] == nil {
+			n.linkFlows[l.ID] = make(map[FlowID]*Flow)
+		}
+		n.linkFlows[l.ID][f.ID] = f
+	}
+}
+
+func (n *Network) unindexFlow(f *Flow) {
+	for _, l := range f.Path {
+		delete(n.linkFlows[l.ID], f.ID)
+	}
+}
+
+// attached reports whether f is a live flow of this network. Detached
+// (stopped) flows are dead objects: mutating them must not disturb the
+// allocation.
+func (n *Network) attached(f *Flow) bool {
+	if f == nil {
+		return false
+	}
+	g, ok := n.flows[f.ID]
+	return ok && g == f
+}
 
 // StartFlow attaches a flow on path with the given demand and tag, then
 // reallocates. The path must be connected (panics otherwise: a disconnected
@@ -86,26 +217,32 @@ func (n *Network) StartFlow(path Path, demand float64, tag string) *Flow {
 	f := &Flow{ID: n.nextID, Path: path, Demand: demand, Tag: tag}
 	n.nextID++
 	n.flows[f.ID] = f
-	n.Reallocate()
+	n.indexFlow(f)
+	n.markFlowDirty(f)
+	n.commit()
 	return f
 }
 
 // StopFlow detaches a flow and reallocates. Stopping an unknown or
 // already-stopped flow is a no-op.
 func (n *Network) StopFlow(f *Flow) {
-	if f == nil {
-		return
-	}
-	if _, ok := n.flows[f.ID]; !ok {
+	if !n.attached(f) {
 		return
 	}
 	delete(n.flows, f.ID)
+	n.unindexFlow(f)
+	delete(n.dirtyFlows, f.ID)
 	f.Rate = 0
-	n.Reallocate()
+	n.markPathDirty(f.Path)
+	n.commit()
 }
 
-// SetDemand updates a flow's demand ceiling and reallocates.
+// SetDemand updates a flow's demand ceiling and reallocates. Calling it on
+// a stopped (detached) flow is a no-op, mirroring StopFlow.
 func (n *Network) SetDemand(f *Flow, demand float64) {
+	if !n.attached(f) {
+		return
+	}
 	if demand < 0 {
 		demand = 0
 	}
@@ -113,26 +250,40 @@ func (n *Network) SetDemand(f *Flow, demand float64) {
 		return
 	}
 	f.Demand = demand
-	n.Reallocate()
+	n.markFlowDirty(f)
+	n.commit()
 }
 
-// SetWeight updates a flow's fair-share weight and reallocates.
+// SetWeight updates a flow's fair-share weight and reallocates. Calling it
+// on a stopped (detached) flow is a no-op, mirroring StopFlow.
 func (n *Network) SetWeight(f *Flow, weight float64) {
+	if !n.attached(f) {
+		return
+	}
 	if f.Weight == weight {
 		return
 	}
 	f.Weight = weight
-	n.Reallocate()
+	n.markFlowDirty(f)
+	n.commit()
 }
 
 // SetPath re-routes a flow (e.g., after an ISP egress change) and
-// reallocates.
+// reallocates. Calling it on a stopped (detached) flow is a no-op,
+// mirroring StopFlow.
 func (n *Network) SetPath(f *Flow, path Path) {
 	if !path.Valid("", "") {
 		panic(fmt.Sprintf("netsim: disconnected path %v", path))
 	}
+	if !n.attached(f) {
+		return
+	}
+	n.unindexFlow(f)
+	n.markPathDirty(f.Path) // the links the flow is leaving
 	f.Path = path
-	n.Reallocate()
+	n.indexFlow(f)
+	n.markFlowDirty(f)
+	n.commit()
 }
 
 // SetLinkCapacity changes a link's capacity at runtime (maintenance,
@@ -151,39 +302,197 @@ func (n *Network) SetLinkCapacity(id LinkID, capacity float64) {
 		return
 	}
 	l.Capacity = capacity
-	n.Reallocate()
+	n.dirtyLinks[id] = struct{}{}
+	n.commit()
 }
 
-// Reallocate recomputes all flow rates by progressive filling — weighted
-// max-min fairness with demand caps. The fill level λ is in rate-per-weight
-// units: an unfrozen flow's tentative rate is λ×weight, so at a shared
-// bottleneck flows split capacity in proportion to their weights. Runs in
-// O(iterations × links × flows) where iterations ≤ flows; topologies in
-// this repo are small enough that this is never the bottleneck (see
-// BenchmarkReallocate).
+// SetMaxRate changes the per-flow rate bound and reallocates everything
+// (every component depends on it).
+func (n *Network) SetMaxRate(bps float64) {
+	if bps <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive MaxRate %v", bps))
+	}
+	if n.MaxRate == bps {
+		return
+	}
+	n.MaxRate = bps
+	n.dirtyAll = true
+	n.commit()
+}
+
+// Reallocate forces a full recomputation of every flow's rate immediately,
+// regardless of dirty state or open batches. Normal mutations recompute
+// incrementally on their own; this remains for benchmarks and as the
+// fallback the incremental path takes for oversized components.
 func (n *Network) Reallocate() {
 	n.Reallocations++
+	n.fullRealloc()
+	n.clearDirty()
+}
+
+func (n *Network) clearDirty() {
+	n.dirtyAll = false
+	for id := range n.dirtyFlows {
+		delete(n.dirtyFlows, id)
+	}
+	for id := range n.dirtyLinks {
+		delete(n.dirtyLinks, id)
+	}
+}
+
+// reallocate recomputes rates for the dirtied components, falling back to a
+// full pass when the affected set exceeds IncrementalCutoff of all flows.
+func (n *Network) reallocate() {
+	n.Reallocations++
+	if n.dirtyAll {
+		n.fullRealloc()
+		n.clearDirty()
+		return
+	}
+
+	// Seed the component search from explicitly dirtied flows and from
+	// every flow crossing a dirtied link.
+	seen := make(map[FlowID]bool)
+	var seeds []*Flow
+	for id := range n.dirtyFlows {
+		if f, ok := n.flows[id]; ok && !seen[id] {
+			seen[id] = true
+			seeds = append(seeds, f)
+		}
+	}
+	for id := range n.dirtyLinks {
+		for fid, f := range n.linkFlows[id] {
+			if !seen[fid] {
+				seen[fid] = true
+				seeds = append(seeds, f)
+			}
+		}
+	}
+
+	// Expand seeds to full components and fill each. Components are
+	// discovered one seed at a time; seeds already swallowed by an
+	// earlier component are skipped via visited.
+	var compFlows [][]*Flow
+	var compLinks [][]LinkID
+	var allLinks []LinkID
+	affected := 0
+	full := false
+	cutoff := int(n.IncrementalCutoff * float64(len(n.flows)))
+	visited := make(map[FlowID]bool)
+	for _, seed := range seeds {
+		if visited[seed.ID] {
+			continue
+		}
+		flows, links := n.expand(seed, visited)
+		allLinks = append(allLinks, links...)
+		affected += len(flows)
+		if affected > cutoff {
+			full = true
+			break
+		}
+		compFlows = append(compFlows, flows)
+		compLinks = append(compLinks, links)
+	}
+	for _, id := range allLinks {
+		n.scratchSeenL[id] = false
+	}
+	if full {
+		n.fullRealloc()
+		n.clearDirty()
+		return
+	}
+	n.IncrementalReallocations++
+	for i := range compFlows {
+		n.fill(compFlows[i], compLinks[i])
+	}
+	// A dirtied link that no longer carries any flow belongs to no
+	// component; zero its stale allocation.
+	for id := range n.dirtyLinks {
+		if len(n.linkFlows[id]) == 0 {
+			n.linkRate[id] = 0
+		}
+	}
+	n.clearDirty()
+}
+
+// expand grows the connected component containing seed: flow → its links →
+// every flow on those links, transitively. visited marks flows across
+// components; scratchSeenL marks links and is reset by resetSeenLinks.
+func (n *Network) expand(seed *Flow, visited map[FlowID]bool) (flows []*Flow, links []LinkID) {
+	stack := []*Flow{seed}
+	visited[seed.ID] = true
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		flows = append(flows, f)
+		for _, l := range f.Path {
+			if n.scratchSeenL[l.ID] {
+				continue
+			}
+			n.scratchSeenL[l.ID] = true
+			links = append(links, l.ID)
+			for fid, g := range n.linkFlows[l.ID] {
+				if !visited[fid] {
+					visited[fid] = true
+					stack = append(stack, g)
+				}
+			}
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+	return flows, links
+}
+
+// fullRealloc recomputes every component from scratch.
+func (n *Network) fullRealloc() {
 	for i := range n.linkRate {
 		n.linkRate[i] = 0
 	}
 	if len(n.flows) == 0 {
 		return
 	}
-
-	// Deterministic flow order.
-	flows := make([]*Flow, 0, len(n.flows))
-	for _, f := range n.flows {
-		flows = append(flows, f)
+	// Deterministic component order: walk flows by ascending ID.
+	ids := make([]FlowID, 0, len(n.flows))
+	for id := range n.flows {
+		ids = append(ids, id)
 	}
-	sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	visited := make(map[FlowID]bool, len(ids))
+	var seenLinks []LinkID
+	for _, id := range ids {
+		if visited[id] {
+			continue
+		}
+		flows, links := n.expand(n.flows[id], visited)
+		seenLinks = append(seenLinks, links...)
+		n.fill(flows, links)
+	}
+	for _, id := range seenLinks {
+		n.scratchSeenL[id] = false
+	}
+}
 
-	rate := make([]float64, len(flows))        // working rates
-	frozen := make([]bool, len(flows))         // flow finished?
-	avail := make([]float64, len(n.linkRate))  // remaining link capacity
-	weight := make([]float64, len(n.linkRate)) // unfrozen weight per link
-	for i, l := range n.topo.Links() {
-		avail[i] = l.Capacity
-		_ = l
+// fill runs weighted max-min progressive filling over one link-connected
+// component. flows must be sorted by ID and links must be exactly the links
+// those flows cross; because components are link-disjoint, the result is
+// independent of every other component. The fill level λ is in
+// rate-per-weight units: an unfrozen flow's tentative rate is λ×weight, so
+// at a shared bottleneck flows split capacity in proportion to their
+// weights. Runs in O(iterations × links × flows) over the component, where
+// iterations ≤ flows (see BenchmarkReallocate and
+// BenchmarkReallocateIncremental).
+//
+// fill is a deterministic function of (flow IDs, paths, demands, weights,
+// link capacities, MaxRate): recomputing an unchanged component reproduces
+// its rates byte-identically, which is what the differential test in
+// batch_test.go leans on.
+func (n *Network) fill(flows []*Flow, links []LinkID) {
+	n.FlowsRecomputed += uint64(len(flows))
+	avail, weight := n.scratchAvail, n.scratchWeight
+	for _, id := range links {
+		avail[id] = n.topo.links[id].Capacity
+		weight[id] = 0
+		n.linkRate[id] = 0
 	}
 	for _, f := range flows {
 		for _, l := range f.Path {
@@ -191,15 +500,17 @@ func (n *Network) Reallocate() {
 		}
 	}
 
+	rate := make([]float64, len(flows))
+	frozen := make([]bool, len(flows))
 	unfrozen := len(flows)
 	for unfrozen > 0 {
 		// Fill level λ (rate per unit weight): the smallest over
 		// links that carry unfrozen flows. Flows not constrained by
 		// any link are bounded by MaxRate via the demand step below.
 		level := math.Inf(1)
-		for i := range avail {
-			if weight[i] > 0 {
-				if s := avail[i] / weight[i]; s < level {
+		for _, id := range links {
+			if weight[id] > 0 {
+				if s := avail[id] / weight[id]; s < level {
 					level = s
 				}
 			}
@@ -304,32 +615,23 @@ func (n *Network) Utilization(id LinkID) float64 {
 
 // FlowsOn returns the number of flows crossing a link.
 func (n *Network) FlowsOn(id LinkID) int {
-	c := 0
-	for _, f := range n.flows {
-		for _, l := range f.Path {
-			if l.ID == id {
-				c++
-				break
-			}
-		}
+	if int(id) < 0 || int(id) >= len(n.linkFlows) {
+		return 0
 	}
-	return c
+	return len(n.linkFlows[id])
 }
 
 // ActiveFlowsOn returns the number of flows crossing a link with positive
 // demand — what an operator sees as "currently sending" when sizing
 // per-flow guidance.
 func (n *Network) ActiveFlowsOn(id LinkID) int {
+	if int(id) < 0 || int(id) >= len(n.linkFlows) {
+		return 0
+	}
 	c := 0
-	for _, f := range n.flows {
-		if f.Demand <= 0 {
-			continue
-		}
-		for _, l := range f.Path {
-			if l.ID == id {
-				c++
-				break
-			}
+	for _, f := range n.linkFlows[id] {
+		if f.Demand > 0 {
+			c++
 		}
 	}
 	return c

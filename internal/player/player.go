@@ -24,6 +24,23 @@ type Conn interface {
 	Close()
 }
 
+// Batcher is implemented by Conns whose backing network can coalesce
+// several mutations into a single fair-share reallocation (netsim's
+// Network.Batch). The player uses it to make connection swaps — close old,
+// attach new, reset demand — one reallocation instead of several.
+type Batcher interface {
+	Batch(func())
+}
+
+// batch runs fn under the conn's Batcher if it has one, else directly.
+func batch(c Conn, fn func()) {
+	if b, ok := c.(Batcher); ok {
+		b.Batch(fn)
+		return
+	}
+	fn()
+}
+
 // FlowConn adapts a netsim flow to the Conn interface.
 type FlowConn struct {
 	Net  *netsim.Network
@@ -62,6 +79,10 @@ func (c *FlowConn) Close() {
 		c.OnClose()
 	}
 }
+
+// Batch implements Batcher by deferring the network's reallocation across a
+// cluster of mutations.
+func (c *FlowConn) Batch(fn func()) { c.Net.Batch(fn) }
 
 // SwitchKind labels a Redirect for metric accounting.
 type SwitchKind int
@@ -212,13 +233,17 @@ func (p *Player) Redirect(conn Conn, penalty time.Duration, kind SwitchKind) {
 		conn.Close()
 		return
 	}
-	if p.conn != nil {
-		p.conn.Close()
-	}
+	// One reallocation for the whole swap: stop the old flow and park
+	// the new one together.
+	batch(conn, func() {
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		conn.SetDemand(0)
+	})
 	p.conn = conn
 	p.penalty = penalty
 	p.downloading = false
-	conn.SetDemand(0)
 	switch kind {
 	case SwitchServer:
 		p.metrics.ServerSwitches++
