@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench chaos fmt
 
 # Tier-1 gate: everything a PR must pass before merging.
 check: build vet race
@@ -19,3 +19,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Chaos suite: the deterministic fault-injection tests (E15 + faults pkg).
+chaos:
+	$(GO) test -race -count=1 -run 'E15|Chaos|Fault|Breaker' ./internal/expt ./internal/faults ./internal/lookingglass
+
+fmt:
+	gofmt -l -w .

@@ -1,5 +1,5 @@
 // Command eona-bench regenerates every experiment table from the paper
-// reproduction (DESIGN.md §4, E1–E14) and prints them.
+// reproduction (DESIGN.md §4, E1–E15) and prints them.
 //
 // Usage:
 //
@@ -46,6 +46,7 @@ func main() {
 		{"E12", func() stringer { return eona.RunFeatureSelection(*seed).Table() }},
 		{"E13", func() stringer { return eona.RunWebCellular(*seed).Table() }},
 		{"E14", func() stringer { return eona.RunSearchSpace(*seed).Table() }},
+		{"E15", func() stringer { return eona.RunChaos(*seed).Table() }},
 	}
 
 	ran := 0

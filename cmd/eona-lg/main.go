@@ -16,16 +16,29 @@
 //
 //	curl -H 'Authorization: Bearer demo-token' \
 //	    http://localhost:8081/v1/i2a/peering?cdn=cdnX
+//
+// With -peer the server also polls a partner looking glass for its I2A
+// peering hints, through the hardened poller (per-attempt timeouts,
+// exponential backoff, circuit breaker, confidence decay). The poller's
+// robustness counters are exported unauthenticated at GET /v1/health:
+//
+//	eona-lg -role appp -peer http://localhost:8081 -peer-token demo-token
+//	curl http://localhost:8080/v1/health
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"eona"
+	"eona/internal/core"
+	"eona/internal/lookingglass"
 )
 
 func main() {
@@ -33,6 +46,9 @@ func main() {
 	role := flag.String("role", "infp", "which side to serve: appp (A2I) or infp (I2A)")
 	token := flag.String("token", "demo-token", "bearer token granted full access")
 	rate := flag.Float64("rate", 50, "requests/second allowed per collaborator")
+	peer := flag.String("peer", "", "base URL of a partner looking glass to poll for I2A peering hints (optional)")
+	peerToken := flag.String("peer-token", "demo-token", "bearer token for the partner looking glass")
+	peerInterval := flag.Duration("peer-interval", 10*time.Second, "partner polling interval")
 	flag.Parse()
 
 	store := eona.NewAuthStore()
@@ -50,11 +66,97 @@ func main() {
 		os.Exit(2)
 	}
 
+	var snap *lookingglass.Snapshot[[]core.PeeringInfo]
+	if *peer != "" {
+		snap = pollPeer(context.Background(), *peer, *peerToken, *peerInterval)
+		log.Printf("eona-lg: polling partner %s every %v", *peer, *peerInterval)
+	}
+
 	srv := eona.NewServer(store, limiter, src)
 	srv.Logf = log.Printf
 	log.Printf("eona-lg: serving %s looking glass on %s (wire %s)", *role, *addr, eona.WireVersion)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(srv.Handler(), *peer, snap),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	if err := httpSrv.ListenAndServe(); err != nil {
 		log.Fatalf("eona-lg: %v", err)
+	}
+}
+
+// pollPeer starts the hardened background poller against a partner looking
+// glass: per-attempt timeouts, jittered exponential backoff while the
+// partner is failing, a circuit breaker that probes half-open after a
+// cooldown, and hint confidence decaying on ten polling intervals.
+func pollPeer(ctx context.Context, base, token string, interval time.Duration) *lookingglass.Snapshot[[]core.PeeringInfo] {
+	client := lookingglass.NewClient(base, token, nil)
+	snap, _ := lookingglass.PollWith(ctx, lookingglass.PollConfig{
+		Interval: interval,
+		HalfLife: 10 * interval,
+	}, func(ctx context.Context) ([]core.PeeringInfo, error) {
+		return client.PeeringInfo(ctx, "")
+	})
+	return snap
+}
+
+// newMux mounts the looking-glass surfaces plus the unauthenticated
+// operational health endpoint.
+func newMux(lg http.Handler, peer string, snap *lookingglass.Snapshot[[]core.PeeringInfo]) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", lg)
+	mux.HandleFunc("GET /v1/health", healthHandler(peer, snap))
+	return mux
+}
+
+// healthPayload is the GET /v1/health document: the partner poller's
+// robustness counters, or just {"breaker":"disabled"} when no partner is
+// configured.
+type healthPayload struct {
+	Peer                string                       `json:"peer,omitempty"`
+	Breaker             string                       `json:"breaker"`
+	Confidence          float64                      `json:"confidence"`
+	Polls               uint64                       `json:"polls"`
+	Successes           uint64                       `json:"successes"`
+	Failures            uint64                       `json:"failures"`
+	Retries             uint64                       `json:"retries"`
+	Skipped             uint64                       `json:"skipped"`
+	ConsecutiveFailures int                          `json:"consecutive_failures"`
+	BreakerCounters     lookingglass.BreakerCounters `json:"breaker_counters"`
+	LastSuccess         *time.Time                   `json:"last_success,omitempty"`
+	LastAttempt         *time.Time                   `json:"last_attempt,omitempty"`
+}
+
+func healthHandler(peer string, snap *lookingglass.Snapshot[[]core.PeeringInfo]) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if snap == nil {
+			json.NewEncoder(w).Encode(healthPayload{Breaker: "disabled"})
+			return
+		}
+		h := snap.Health(time.Now())
+		p := healthPayload{
+			Peer:                peer,
+			Breaker:             h.Breaker.String(),
+			Confidence:          h.Confidence,
+			Polls:               h.Polls,
+			Successes:           h.Successes,
+			Failures:            h.Failures,
+			Retries:             h.Retries,
+			Skipped:             h.Skipped,
+			ConsecutiveFailures: h.ConsecutiveFailures,
+			BreakerCounters:     h.BreakerCounters,
+		}
+		if !h.LastSuccess.IsZero() {
+			p.LastSuccess = &h.LastSuccess
+		}
+		if !h.LastAttempt.IsZero() {
+			p.LastAttempt = &h.LastAttempt
+		}
+		json.NewEncoder(w).Encode(p)
 	}
 }
 

@@ -38,7 +38,7 @@
 //     internal/stability — streaming aggregation, blinding, the inference
 //     baseline of Figure 4, information-gain feature selection, and
 //     oscillation detection/dampening
-//   - internal/expt — experiments E1–E14 reproducing every figure and
+//   - internal/expt — experiments E1–E15 reproducing every figure and
 //     scenario in the paper (see DESIGN.md §4 and EXPERIMENTS.md)
 //
 // # Quickstart
@@ -64,6 +64,7 @@ import (
 	"eona/internal/control"
 	"eona/internal/core"
 	"eona/internal/expt"
+	"eona/internal/faults"
 	"eona/internal/lookingglass"
 	"eona/internal/qoe"
 	"eona/internal/wire"
@@ -312,7 +313,28 @@ type (
 	WebCellularResult = expt.E13Result
 	// SearchSpaceResult is E14 / §5.
 	SearchSpaceResult = expt.E14Result
+	// ChaosResult is E15 / §5 (fault injection).
+	ChaosResult = expt.E15Result
 )
+
+// Fault injection (E15 and downstream chaos studies): deterministic,
+// seeded fault plans applied to scenarios via ScenarioConfig.Faults, or to
+// live looking-glass traffic via the wrappers in internal/faults.
+type (
+	// FaultPlan is a materialized fault schedule (link flaps/outages,
+	// partner-exchange outages, error bursts, latency spikes).
+	FaultPlan = faults.Plan
+	// FaultConfig parameterizes GenerateFaults.
+	FaultConfig = faults.Config
+	// LinkFaultConfig describes one link's fault process.
+	LinkFaultConfig = faults.LinkFaultConfig
+	// PartnerFaultConfig describes the partner-exchange fault process.
+	PartnerFaultConfig = faults.PartnerFaultConfig
+)
+
+// GenerateFaults materializes a fault plan from a seeded config: the same
+// seed always yields the same plan.
+func GenerateFaults(cfg FaultConfig) *FaultPlan { return faults.Generate(cfg) }
 
 // Scenario types for custom Figure 5 runs (cmd/eona-sim and downstream
 // what-if studies).
@@ -394,3 +416,8 @@ func RunWebCellular(seed int64) WebCellularResult { return expt.RunE13(seed) }
 
 // RunSearchSpace compares exhaustive and EONA-guided knob search (E14).
 func RunSearchSpace(seed int64) SearchSpaceResult { return expt.RunE14(seed) }
+
+// RunChaos executes the E15 chaos sweep: the Figure 5 scenario under
+// seeded fault plans (access-link flap + partner-exchange outage),
+// comparing baseline, hint-trusting EONA, and confidence-aware EONA.
+func RunChaos(seed int64) ChaosResult { return expt.RunE15(seed) }

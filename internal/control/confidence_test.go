@@ -1,0 +1,70 @@
+package control
+
+import (
+	"reflect"
+	"testing"
+
+	"eona/internal/core"
+)
+
+// Below the confidence floor the EONA AppP must behave exactly like the
+// baseline — a stale access-congestion attribution would otherwise keep a
+// bitrate cap pinned long after the congestion cleared (the E15 naive-EONA
+// failure mode).
+func TestEONAAppPConfidenceFloorFallsBackToBaseline(t *testing.T) {
+	obs := AppPObs{
+		Current: "cdnX", Score: 20, DemandBps: 150e6,
+		CDNs: twoCDNs(), I2A: i2aAccessCongested(2e6),
+	}
+	p := &EONAAppP{Threshold: 60, CapHeadroom: 0.9, ConfidenceFloor: 0.5}
+	base := &BaselineAppP{Threshold: 60}
+
+	obs.I2AConfidence = 0.8
+	if dec := p.Decide(obs); dec.CDN != "cdnX" || dec.BitrateCapBps != 1.8e6 {
+		t.Errorf("confident decision = %+v, want EONA cap-and-stay", dec)
+	}
+
+	obs.I2AConfidence = 0.3
+	dec := p.Decide(obs)
+	if !reflect.DeepEqual(dec, base.Decide(obs)) {
+		t.Errorf("stale-hint decision = %+v, want exactly baseline %+v", dec, base.Decide(obs))
+	}
+	if dec.BitrateCapBps != 0 {
+		t.Errorf("stale hint still applied a cap: %+v", dec)
+	}
+}
+
+func TestEONAAppPZeroFloorIgnoresConfidence(t *testing.T) {
+	// Legacy behaviour: no floor configured, confidence (even zero) is
+	// not consulted — E1–E14 results must not move.
+	p := &EONAAppP{Threshold: 60, CapHeadroom: 0.9}
+	dec := p.Decide(AppPObs{
+		Current: "cdnX", Score: 20, DemandBps: 150e6,
+		CDNs: twoCDNs(), I2A: i2aAccessCongested(2e6), I2AConfidence: 0,
+	})
+	if dec.CDN != "cdnX" || dec.BitrateCapBps != 1.8e6 {
+		t.Errorf("zero-floor decision = %+v, want EONA cap-and-stay", dec)
+	}
+}
+
+// Below the floor the EONA InfP must ignore the A2I estimate and take the
+// utilization-reactive path for every CDN.
+func TestEONAInfPConfidenceFloorFallsBackToUtilization(t *testing.T) {
+	p := &EONAInfP{Margin: 0.1, HighWater: 0.9, ConfidenceFloor: 0.5}
+	obs := infpObs(0.0, 0.0, "B")
+	obs.A2I = &A2IView{Traffic: []core.TrafficEstimate{
+		{AppP: "vod", CDN: "cdnX", VolumeBps: 150e6}, // does not fit B
+	}}
+
+	obs.A2IConfidence = 0.9
+	if dec := p.Decide(obs); dec.Egress["cdnX"] != "C" {
+		t.Errorf("confident egress = %v, want demand-sized C", dec.Egress)
+	}
+
+	// Stale estimate: B is idle, utilization fallback holds it there even
+	// though the (distrusted) estimate says it cannot fit.
+	obs.A2IConfidence = 0.2
+	if dec := p.Decide(obs); dec.Egress["cdnX"] != "B" {
+		t.Errorf("stale-estimate egress = %v, want utilization hold at B", dec.Egress)
+	}
+}

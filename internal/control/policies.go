@@ -57,6 +57,11 @@ type AppPObs struct {
 	CDNs []CDNStat
 	// I2A is the EONA view (nil for baseline operation).
 	I2A *I2AView
+	// I2AConfidence grades how much the I2A view is still to be trusted
+	// (1 = fresh exchange, decaying toward 0 with staleness — see
+	// lookingglass.DecayConfidence). Only consulted by policies with a
+	// ConfidenceFloor set; zero is fine for fully-fresh operation.
+	I2AConfidence float64
 }
 
 // AppPDecision is the AppP's knob settings for the next epoch.
@@ -103,12 +108,20 @@ type EONAAppP struct {
 	CapHeadroom float64
 	// Hysteresis dampens CDN switches; nil disables dampening.
 	Hysteresis *stability.Hysteresis
+	// ConfidenceFloor, when positive, is the minimum obs.I2AConfidence at
+	// which the policy still trusts the I2A view. Below it the hints are
+	// treated as absent and the policy degrades to exactly the baseline
+	// decision rule — acting on a sufficiently stale attribution is worse
+	// than acting on none (the E15 chaos result). Zero keeps the legacy
+	// always-trust behaviour.
+	ConfidenceFloor float64
 }
 
 // Decide implements AppPPolicy.
 func (e *EONAAppP) Decide(obs AppPObs) AppPDecision {
-	if obs.I2A == nil {
-		// Degrade gracefully to baseline behaviour.
+	if obs.I2A == nil || (e.ConfidenceFloor > 0 && obs.I2AConfidence < e.ConfidenceFloor) {
+		// Degrade gracefully to baseline behaviour: no hints, or hints
+		// too stale to act on.
 		return (&BaselineAppP{Threshold: e.Threshold}).Decide(obs)
 	}
 	dec := AppPDecision{CDN: obs.Current}
@@ -229,6 +242,10 @@ type InfPObs struct {
 	Reach map[string][]string
 	// A2I is the EONA view (nil for baseline operation).
 	A2I *A2IView
+	// A2IConfidence grades how much the A2I view is still to be trusted
+	// (see AppPObs.I2AConfidence). Only consulted by policies with a
+	// ConfidenceFloor set.
+	A2IConfidence float64
 }
 
 // InfPDecision is the InfP's egress choice per CDN.
@@ -291,6 +308,12 @@ type EONAInfP struct {
 	// HighWater triggers utilization-based fallback when no estimate is
 	// available for a CDN.
 	HighWater float64
+	// ConfidenceFloor, when positive, is the minimum obs.A2IConfidence at
+	// which the A2I estimates are still trusted. Below it the estimates
+	// are treated as absent and every CDN takes the utilization-reactive
+	// fallback path — the baseline rule. Zero keeps the legacy
+	// always-trust behaviour.
+	ConfidenceFloor float64
 }
 
 // Decide implements InfPPolicy.
@@ -301,7 +324,7 @@ func (e *EONAInfP) Decide(obs InfPObs) InfPDecision {
 		capacity[r.PeeringID] = r.CapacityBps
 	}
 	demand := map[string]float64{}
-	if obs.A2I != nil {
+	if obs.A2I != nil && !(e.ConfidenceFloor > 0 && obs.A2IConfidence < e.ConfidenceFloor) {
 		for _, t := range obs.A2I.Traffic {
 			demand[t.CDN] += t.VolumeBps
 		}

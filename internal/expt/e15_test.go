@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"sync"
+	"testing"
+)
+
+// RunE15 is the most expensive sweep in the suite (24 four-hour runs);
+// compute it once and let every assertion read the shared result.
+var e15Once struct {
+	sync.Once
+	res E15Result
+}
+
+func e15Result() E15Result {
+	e15Once.Do(func() { e15Once.res = RunE15(1) })
+	return e15Once.res
+}
+
+// The headline robustness claim: confidence-aware EONA never does worse
+// than the EONA-less baseline, at any partner-outage length. Falling back
+// to baseline rules under stale hints bounds the downside by construction.
+func TestE15AwareNeverWorseThanBaseline(t *testing.T) {
+	for _, p := range e15Result().Outages {
+		if p.Aware.MeanScore < p.Baseline.MeanScore {
+			t.Errorf("outage %v: aware EONA %.1f < baseline %.1f",
+				p.OutageLen, p.Aware.MeanScore, p.Baseline.MeanScore)
+		}
+	}
+}
+
+// The failure mode E15 exists to demonstrate: EONA that trusts hints
+// forever keeps the stale "cap your bitrate" attribution pinned for the
+// whole partner outage, and once the outage is at least the hint
+// half-life it scores below even the baseline.
+func TestE15NaiveFallsBelowBaselineOnLongOutage(t *testing.T) {
+	for _, p := range e15Result().Outages {
+		if p.OutageLen >= E15HalfLife && p.Naive.MeanScore >= p.Baseline.MeanScore {
+			t.Errorf("outage %v: naive EONA %.1f did not fall below baseline %.1f",
+				p.OutageLen, p.Naive.MeanScore, p.Baseline.MeanScore)
+		}
+		// And the flip side: while hints are fresh (no outage), EONA
+		// beats the baseline — the fault injection must not erase the
+		// paper's core result.
+		if p.OutageLen == 0 && p.Naive.MeanScore <= p.Baseline.MeanScore {
+			t.Errorf("no outage: EONA %.1f did not beat baseline %.1f",
+				p.Naive.MeanScore, p.Baseline.MeanScore)
+		}
+	}
+}
+
+// Longer outages must never help the naive variant: its mean score is
+// non-increasing in outage length (the stale cap applies strictly longer).
+func TestE15NaiveMonotoneInOutageLength(t *testing.T) {
+	pts := e15Result().Outages
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Naive.MeanScore > pts[i-1].Naive.MeanScore+1e-9 {
+			t.Errorf("naive EONA improved with a longer outage: %v→%.2f after %v→%.2f",
+				pts[i].OutageLen, pts[i].Naive.MeanScore,
+				pts[i-1].OutageLen, pts[i-1].Naive.MeanScore)
+		}
+	}
+}
+
+// Same seed, byte-identical results: the whole chaos pipeline (plan
+// generation, scheduling, scoring) must be deterministic.
+func TestE15Deterministic(t *testing.T) {
+	a := e15Result().Table().String()
+	b := RunE15(1).Table().String()
+	if a != b {
+		t.Errorf("same-seed E15 runs differ:\n%s\n----\n%s", a, b)
+	}
+}
+
+func TestE15TableShape(t *testing.T) {
+	tab := e15Result().Table()
+	if want := len(E15OutageLens) + len(E15FlapCounts); len(tab.Rows) != want {
+		t.Errorf("table rows = %d, want %d", len(tab.Rows), want)
+	}
+}

@@ -6,7 +6,9 @@ import (
 
 	"eona/internal/control"
 	"eona/internal/core"
+	"eona/internal/faults"
 	"eona/internal/isp"
+	"eona/internal/lookingglass"
 	"eona/internal/netsim"
 	"eona/internal/privacy"
 	"eona/internal/qoe"
@@ -81,6 +83,21 @@ type Fig5Config struct {
 	// capacity degrades to FailPeerBToBps (e.g., a partial outage).
 	FailPeerBAt    time.Duration
 	FailPeerBToBps float64
+	// Faults is a deterministic chaos plan (E15): its link faults are
+	// scheduled onto the topology (names: access, peering-B, peering-C,
+	// ixp-cdnX, ixp-cdnY) and its partner faults gate the EONA interface
+	// exchange — epochs inside an outage or error-burst window publish
+	// nothing, so the parties keep deciding on their last-received hints.
+	// Nil injects nothing.
+	Faults *faults.Plan
+	// HintHalfLife is the confidence half-life applied to interface data
+	// age (see lookingglass.DecayConfidence); 0 means hints never lose
+	// confidence.
+	HintHalfLife time.Duration
+	// ConfidenceFloor is passed to the EONA policies: below this hint
+	// confidence they degrade to baseline rules. 0 keeps legacy
+	// always-trust behaviour.
+	ConfidenceFloor float64
 }
 
 func (c *Fig5Config) applyDefaults() {
@@ -173,10 +190,20 @@ func RunFig5(cfg Fig5Config) Fig5Result {
 	access := topo.AddLink("clients", "border", cfg.AccessBps, 2*time.Millisecond, "access")
 	linkB := topo.AddLink("border", "cdnX", cfg.PeerBBps, time.Millisecond, "peering-B")
 	linkC := topo.AddLink("border", "ixp", cfg.PeerCBps, 3*time.Millisecond, "peering-C")
-	topo.AddLink("ixp", "cdnX", cfg.IXPToXBps, time.Millisecond, "ixp-cdnX")
-	topo.AddLink("ixp", "cdnY", cfg.IXPToYBps, time.Millisecond, "ixp-cdnY")
+	ixpX := topo.AddLink("ixp", "cdnX", cfg.IXPToXBps, time.Millisecond, "ixp-cdnX")
+	ixpY := topo.AddLink("ixp", "cdnY", cfg.IXPToYBps, time.Millisecond, "ixp-cdnY")
 	net := netsim.NewNetwork(topo)
 	net.MaxRate = 10e9 // aggregate flow: no per-NIC cap
+
+	if err := cfg.Faults.Schedule(eng, net, map[string]faults.Target{
+		"access":    {ID: access.ID, BaseBps: cfg.AccessBps},
+		"peering-B": {ID: linkB.ID, BaseBps: cfg.PeerBBps},
+		"peering-C": {ID: linkC.ID, BaseBps: cfg.PeerCBps},
+		"ixp-cdnX":  {ID: ixpX.ID, BaseBps: cfg.IXPToXBps},
+		"ixp-cdnY":  {ID: ixpY.ID, BaseBps: cfg.IXPToYBps},
+	}); err != nil {
+		panic(fmt.Sprintf("expt: fig5 fault plan: %v", err))
+	}
 
 	ispNet := isp.New(net, isp.Config{Name: "isp1", ClientNode: "clients", Border: "border", Access: access})
 	ispNet.AddPeering("B", linkB, cdnXName)
@@ -196,6 +223,17 @@ func RunFig5(cfg Fig5Config) Fig5Result {
 	i2aStore := core.NewDelayed[control.I2AView](cfg.Staleness)
 	a2iStore := core.NewDelayed[control.A2IView](cfg.Staleness)
 	volNoiser := privacy.NewNoiser(cfg.NoiseEpsilon, 3e6, cfg.Seed+7)
+
+	// lastExchange is when the parties last completed an interface
+	// exchange (−1 = never); partner faults freeze it, and hint
+	// confidence decays from it on HintHalfLife.
+	lastExchange := time.Duration(-1)
+	hintConfidence := func(now time.Duration) float64 {
+		if lastExchange < 0 {
+			return 0
+		}
+		return lookingglass.DecayConfidence(now-lastExchange, cfg.HintHalfLife)
+	}
 
 	demandNow := func(now time.Duration) float64 {
 		d := cfg.Demand(now)
@@ -323,7 +361,7 @@ func RunFig5(cfg Fig5Config) Fig5Result {
 	var appPolicy control.AppPPolicy
 	var infPolicy control.InfPPolicy
 	if cfg.AppPMode == EONA {
-		e := &control.EONAAppP{Threshold: 60, CapHeadroom: 0.95}
+		e := &control.EONAAppP{Threshold: 60, CapHeadroom: 0.95, ConfidenceFloor: cfg.ConfidenceFloor}
 		if useHyst {
 			e.Hysteresis = &stability.Hysteresis{Margin: 0.2}
 		}
@@ -332,7 +370,7 @@ func RunFig5(cfg Fig5Config) Fig5Result {
 		appPolicy = &control.BaselineAppP{Threshold: 60}
 	}
 	if cfg.InfPMode == EONA {
-		infPolicy = &control.EONAInfP{Margin: 0.1, HighWater: 0.9}
+		infPolicy = &control.EONAInfP{Margin: 0.1, HighWater: 0.9, ConfidenceFloor: cfg.ConfidenceFloor}
 	} else {
 		infPolicy = &control.BaselineInfP{HighWater: 0.9, LowWater: 0.5}
 	}
@@ -358,8 +396,14 @@ func RunFig5(cfg Fig5Config) Fig5Result {
 			scores = append(scores, s)
 		}
 		switchedThisEpoch = false
-		i2aStore.Set(now, buildI2A())
-		a2iStore.Set(now, buildA2I(now))
+		// Partner faults gate the exchange: during an outage or error
+		// burst nothing is published, so the stores (and hence the
+		// policies) keep serving the last completed exchange.
+		if cfg.Faults.PartnerUp(now) && !cfg.Faults.PartnerErrored(now) {
+			i2aStore.Set(now, buildI2A())
+			a2iStore.Set(now, buildA2I(now))
+			lastExchange = now
+		}
 		// Demand may be time-varying; keep the flow's demand current.
 		net.SetDemand(flow, flowDemand(now))
 		return true
@@ -380,6 +424,7 @@ func RunFig5(cfg Fig5Config) Fig5Result {
 		if cfg.InfPMode == EONA {
 			if v, ok := a2iStore.Get(now); ok {
 				obs.A2I = &v
+				obs.A2IConfidence = hintConfidence(now)
 			}
 		}
 		dec := infPolicy.Decide(obs)
@@ -418,6 +463,7 @@ func RunFig5(cfg Fig5Config) Fig5Result {
 		if cfg.AppPMode == EONA {
 			if v, ok := i2aStore.Get(now); ok {
 				obs.I2A = &v
+				obs.I2AConfidence = hintConfidence(now)
 			}
 		}
 		dec := appPolicy.Decide(obs)

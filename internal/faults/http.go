@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrPartnerDown is the error injected for exchanges attempted inside a
+// partner outage window.
+var ErrPartnerDown = errors.New("faults: injected partner outage")
+
+// ErrInjected is the error injected for exchanges landing in an error
+// burst (the partner answered, but uselessly).
+var ErrInjected = errors.New("faults: injected exchange error")
+
+// WallClock returns a clock mapping wall time to plan time, with t=0 at
+// start. It positions real HTTP traffic (Transport, WrapFetch) on a plan's
+// timeline.
+func WallClock(start time.Time) func() time.Duration {
+	return func() time.Duration { return time.Since(start) }
+}
+
+// WrapFetch gates a looking-glass-style fetch function with the plan's
+// partner faults, positioning each call on the plan timeline via clock.
+// Latency spikes delay the call (respecting ctx cancellation), outage
+// windows fail it with ErrPartnerDown, and error bursts with ErrInjected;
+// otherwise the underlying fetch runs unchanged. Wrap the function handed
+// to lookingglass.Poll/PollWith to chaos-test a poller.
+func WrapFetch[T any](p *Plan, clock func() time.Duration, fetch func(context.Context) (T, error)) func(context.Context) (T, error) {
+	return func(ctx context.Context) (T, error) {
+		var zero T
+		now := clock()
+		if err := injectDelay(ctx, p.PartnerDelay(now)); err != nil {
+			return zero, err
+		}
+		if !p.PartnerUp(now) {
+			return zero, ErrPartnerDown
+		}
+		if p.PartnerErrored(now) {
+			return zero, ErrInjected
+		}
+		return fetch(ctx)
+	}
+}
+
+// Transport is an http.RoundTripper that injects the plan's partner faults
+// into real HTTP exchanges: requests inside an outage window fail with
+// ErrPartnerDown, requests inside an error burst get a synthesized 503
+// without touching the network, and latency spikes delay the round trip.
+// Install it as the http.Client's Transport to chaos-test a
+// lookingglass.Client end to end.
+type Transport struct {
+	// Plan supplies the fault windows; nil injects nothing.
+	Plan *Plan
+	// Clock positions each request on the plan timeline (see WallClock).
+	Clock func() time.Duration
+	// Base performs the real exchange; nil means http.DefaultTransport.
+	Base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	now := t.Clock()
+	if err := injectDelay(req.Context(), t.Plan.PartnerDelay(now)); err != nil {
+		return nil, err
+	}
+	if !t.Plan.PartnerUp(now) {
+		return nil, ErrPartnerDown
+	}
+	if t.Plan.PartnerErrored(now) {
+		const msg = "injected error burst"
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader(msg)),
+			ContentLength: int64(len(msg)),
+			Request:       req,
+		}, nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
+func injectDelay(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable plan clock for tests.
+type fakeClock struct{ now atomic.Int64 }
+
+func (c *fakeClock) set(t time.Duration) { c.now.Store(int64(t)) }
+func (c *fakeClock) read() time.Duration { return time.Duration(c.now.Load()) }
+
+func chaosPlan() *Plan {
+	return &Plan{
+		PartnerOutages: []Window{{Start: 10 * time.Minute, End: 20 * time.Minute}},
+		ErrorBursts:    []Window{{Start: 30 * time.Minute, End: 35 * time.Minute}},
+		LatencySpikes:  []LatencySpike{{Window: Window{Start: 40 * time.Minute, End: 45 * time.Minute}, Extra: 5 * time.Millisecond}},
+	}
+}
+
+func TestTransportInjectsFaults(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	clk := &fakeClock{}
+	client := &http.Client{Transport: &Transport{Plan: chaosPlan(), Clock: clk.read}}
+
+	// Healthy: request reaches the server.
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || served.Load() != 1 {
+		t.Fatalf("healthy request: status %d, served %d", resp.StatusCode, served.Load())
+	}
+
+	// Outage: the exchange fails without touching the network.
+	clk.set(15 * time.Minute)
+	if _, err := client.Get(ts.URL); !errors.Is(err, ErrPartnerDown) {
+		t.Fatalf("outage error = %v, want ErrPartnerDown", err)
+	}
+	if served.Load() != 1 {
+		t.Error("outage request reached the server")
+	}
+
+	// Error burst: a synthesized 503, again without a real round trip.
+	clk.set(31 * time.Minute)
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || len(body) == 0 {
+		t.Errorf("burst response = %d %q", resp.StatusCode, body)
+	}
+	if served.Load() != 1 {
+		t.Error("burst request reached the server")
+	}
+
+	// Latency spike: slowed but successful.
+	clk.set(41 * time.Minute)
+	start := time.Now()
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("spiked request took %v, want ≥5ms", elapsed)
+	}
+	if served.Load() != 2 {
+		t.Error("spiked request did not reach the server")
+	}
+}
+
+func TestWrapFetch(t *testing.T) {
+	clk := &fakeClock{}
+	var calls int
+	fetch := WrapFetch(chaosPlan(), clk.read, func(context.Context) (string, error) {
+		calls++
+		return "fresh", nil
+	})
+
+	if v, err := fetch(context.Background()); err != nil || v != "fresh" || calls != 1 {
+		t.Fatalf("healthy fetch = %q, %v (calls %d)", v, err, calls)
+	}
+	clk.set(15 * time.Minute)
+	if _, err := fetch(context.Background()); !errors.Is(err, ErrPartnerDown) {
+		t.Fatalf("outage fetch error = %v", err)
+	}
+	clk.set(32 * time.Minute)
+	if _, err := fetch(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("burst fetch error = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("faulted fetches reached the inner function (%d calls)", calls)
+	}
+}
+
+func TestWrapFetchDelayRespectsContext(t *testing.T) {
+	p := &Plan{LatencySpikes: []LatencySpike{{Window: Window{Start: 0, End: time.Hour}, Extra: time.Minute}}}
+	fetch := WrapFetch(p, func() time.Duration { return time.Second }, func(context.Context) (int, error) {
+		t.Error("fetch ran despite cancelled context")
+		return 0, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := fetch(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

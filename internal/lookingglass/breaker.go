@@ -1,0 +1,164 @@
+package lookingglass
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: exchanges flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive failures tripped the breaker; exchanges
+	// are skipped until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and one probe exchange is in
+	// flight; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Default breaker parameters, applied by NewBreaker for zero config
+// fields.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 30 * time.Second
+)
+
+// BreakerConfig parameterizes a Breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	// Zero selects DefaultBreakerThreshold; negative disables the
+	// breaker (it stays closed forever).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe. Zero selects DefaultBreakerCooldown.
+	Cooldown time.Duration
+}
+
+// BreakerCounters are cumulative breaker statistics, exported so a live
+// poller's health is observable (cmd/eona-lg /v1/health).
+type BreakerCounters struct {
+	// Allowed counts exchanges the breaker admitted (probes included).
+	Allowed uint64
+	// Skipped counts exchanges suppressed while open or while a probe
+	// was in flight.
+	Skipped uint64
+	// Opens counts closed/half-open → open transitions.
+	Opens uint64
+	// Probes counts half-open probe admissions.
+	Probes uint64
+	// Successes and Failures count reported exchange outcomes.
+	Successes, Failures uint64
+}
+
+// Breaker is a consecutive-failure circuit breaker
+// (closed → open → half-open probe → closed). It is safe for concurrent
+// use. Callers ask Allow before each exchange and report the outcome with
+// OnSuccess/OnFailure; time is passed in explicitly so simulated and
+// wall-clock users share one implementation.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     BreakerState
+	consec    int
+	openedAt  time.Time
+	c         BreakerCounters
+}
+
+// NewBreaker builds a breaker, applying defaults for zero config fields.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultBreakerThreshold
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{threshold: cfg.Threshold, cooldown: cfg.Cooldown}
+}
+
+// Allow reports whether an exchange may proceed at now. While open it
+// returns false until the cooldown elapses, then admits exactly one
+// half-open probe; further exchanges are skipped until the probe's outcome
+// is reported.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			b.c.Skipped++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.c.Probes++
+		b.c.Allowed++
+		return true
+	case BreakerHalfOpen:
+		b.c.Skipped++
+		return false
+	default:
+		b.c.Allowed++
+		return true
+	}
+}
+
+// OnSuccess reports a successful exchange: the failure streak resets and
+// the breaker closes (a successful half-open probe closes it).
+func (b *Breaker) OnSuccess(time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.c.Successes++
+	b.consec = 0
+	b.state = BreakerClosed
+}
+
+// OnFailure reports a failed exchange. A failed half-open probe re-opens
+// immediately; in the closed state the breaker opens once the consecutive
+// failure streak reaches the threshold.
+func (b *Breaker) OnFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.c.Failures++
+	b.consec++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.threshold > 0 && b.consec >= b.threshold) {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.c.Opens++
+	}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// ConsecutiveFailures returns the current failure streak.
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consec
+}
+
+// Counters returns a snapshot of the cumulative statistics.
+func (b *Breaker) Counters() BreakerCounters {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.c
+}

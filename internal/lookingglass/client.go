@@ -44,6 +44,19 @@ func NewClient(baseURL, token string, httpClient *http.Client) *Client {
 // should be small.
 const maxResponseBytes = 16 << 20
 
+// maxErrorMessageBytes bounds how much of an error response body ends up in
+// a StatusError. A misbehaving peer can return megabytes of garbage with its
+// 500; that belongs on the floor, not in every log line and wrapped error up
+// the stack.
+const maxErrorMessageBytes = 1 << 10
+
+func truncateMessage(s string) string {
+	if len(s) <= maxErrorMessageBytes {
+		return s
+	}
+	return s[:maxErrorMessageBytes] + "... (truncated)"
+}
+
 // StatusError reports a non-2xx looking-glass response.
 type StatusError struct {
 	Code    int
@@ -87,10 +100,10 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, want wi
 		// Error responses carry a wire error envelope when possible.
 		if env, derr := wire.Decode(body); derr == nil {
 			if eb, perr := wire.DecodePayload[wire.ErrorBody](env, wire.TypeError); perr == nil {
-				return wire.Envelope{}, &StatusError{Code: resp.StatusCode, Message: eb.Message}
+				return wire.Envelope{}, &StatusError{Code: resp.StatusCode, Message: truncateMessage(eb.Message)}
 			}
 		}
-		return wire.Envelope{}, &StatusError{Code: resp.StatusCode, Message: string(body)}
+		return wire.Envelope{}, &StatusError{Code: resp.StatusCode, Message: truncateMessage(string(body))}
 	}
 	env, err := wire.Decode(body)
 	if err != nil {

@@ -2,15 +2,31 @@ package lookingglass
 
 import (
 	"context"
+	"math"
+	"math/rand"
 	"sync"
 	"time"
 )
+
+// DecayConfidence grades a datum of the given age: 1 at age 0, halving
+// every halfLife, decaying toward (but never reaching) 0. A non-positive
+// halfLife disables decay (confidence stays 1 at any age) — the legacy
+// binary fresh/stale stance. This is the §5 staleness contract consumers
+// build on: between successful exchanges confidence is strictly
+// non-increasing, and only a fresh exchange restores it to 1.
+func DecayConfidence(age, halfLife time.Duration) float64 {
+	if halfLife <= 0 || age <= 0 {
+		return 1
+	}
+	return math.Pow(0.5, float64(age)/float64(halfLife))
+}
 
 // Snapshot is the freshest value a Poller has fetched, safe for concurrent
 // reads by a control loop while the poller refreshes it in the background.
 // A Snapshot is the wall-clock counterpart of core.Delayed: control loops
 // read whatever the last successful poll returned, however old it is —
-// which is exactly the staleness the E6 experiment characterizes.
+// which is exactly the staleness the E6 experiment characterizes, and
+// Confidence grades (E15).
 type Snapshot[T any] struct {
 	mu sync.RWMutex
 	v  T
@@ -23,6 +39,13 @@ type Snapshot[T any] struct {
 	attemptAt time.Time
 	attempted bool
 	err       error
+
+	// halfLife parameterizes Confidence; zero means no decay.
+	halfLife time.Duration
+	// Robustness counters, maintained by the polling loop.
+	polls, successes, failures, retries, skipped uint64
+	consecFails                                  int
+	breaker                                      *Breaker
 }
 
 // Get returns the latest value, when it was fetched, and whether any fetch
@@ -50,6 +73,30 @@ func (s *Snapshot[T]) Age(now time.Time) (time.Duration, bool) {
 	return now.Sub(s.at), true
 }
 
+// Confidence grades the snapshot's trustworthiness at now: 0 before any
+// successful fetch, 1 at the instant of a fetch, and exponentially
+// decaying with age on the configured half-life (see DecayConfidence).
+// Consumers hold last-known-good state with decaying trust instead of a
+// binary fresh/stale cliff; control policies compare this against their
+// confidence floor to decide when to fall back to baseline rules.
+func (s *Snapshot[T]) Confidence(now time.Time) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.ok {
+		return 0
+	}
+	return DecayConfidence(now.Sub(s.at), s.halfLife)
+}
+
+// SetHalfLife configures the Confidence decay half-life (non-positive
+// disables decay). PollWith sets it from its config; bare Snapshots and
+// legacy Poll default to no decay.
+func (s *Snapshot[T]) SetHalfLife(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.halfLife = d
+}
+
 // LastAttempt returns when the most recent poll finished — successful or
 // failed — and false if no poll has completed yet. Together with Get, a
 // control loop can distinguish a failing peer (LastAttempt fresh, fetchedAt
@@ -71,11 +118,67 @@ func (s *Snapshot[T]) SinceAttempt(now time.Time) (time.Duration, bool) {
 	return now.Sub(s.attemptAt), true
 }
 
+// Health is a point-in-time view of a poller's robustness counters — what
+// an operator needs to tell a healthy poller from one riding its breaker.
+type Health struct {
+	// Polls counts completed fetch attempts; Successes + Failures.
+	Polls uint64
+	// Successes and Failures count attempt outcomes.
+	Successes, Failures uint64
+	// Retries counts attempts made while already in a failure streak.
+	Retries uint64
+	// Skipped counts scheduled polls suppressed by an open breaker.
+	Skipped uint64
+	// ConsecutiveFailures is the current failure streak.
+	ConsecutiveFailures int
+	// Breaker is the breaker position (closed for breakerless pollers).
+	Breaker BreakerState
+	// BreakerCounters are the breaker's cumulative statistics.
+	BreakerCounters BreakerCounters
+	// Confidence is the snapshot's decayed trust at the query instant.
+	Confidence float64
+	// LastSuccess and LastAttempt are zero until the respective event.
+	LastSuccess, LastAttempt time.Time
+}
+
+// Health reports the poller's robustness counters at now.
+func (s *Snapshot[T]) Health(now time.Time) Health {
+	s.mu.RLock()
+	h := Health{
+		Polls:               s.polls,
+		Successes:           s.successes,
+		Failures:            s.failures,
+		Retries:             s.retries,
+		Skipped:             s.skipped,
+		ConsecutiveFailures: s.consecFails,
+	}
+	if s.ok {
+		h.LastSuccess = s.at
+		h.Confidence = DecayConfidence(now.Sub(s.at), s.halfLife)
+	}
+	if s.attempted {
+		h.LastAttempt = s.attemptAt
+	}
+	br := s.breaker
+	s.mu.RUnlock()
+	if br != nil {
+		h.Breaker = br.State()
+		h.BreakerCounters = br.Counters()
+	}
+	return h
+}
+
 func (s *Snapshot[T]) set(v T, at time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.v, s.at, s.ok, s.err = v, at, true, nil
 	s.attemptAt, s.attempted = at, true
+	s.polls++
+	s.successes++
+	if s.consecFails > 0 {
+		s.retries++
+	}
+	s.consecFails = 0
 }
 
 func (s *Snapshot[T]) fail(err error, at time.Time) {
@@ -83,40 +186,178 @@ func (s *Snapshot[T]) fail(err error, at time.Time) {
 	defer s.mu.Unlock()
 	s.err = err
 	s.attemptAt, s.attempted = at, true
+	s.polls++
+	s.failures++
+	if s.consecFails > 0 {
+		s.retries++
+	}
+	s.consecFails++
+}
+
+func (s *Snapshot[T]) recordSkip() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.skipped++
+}
+
+// PollConfig parameterizes PollWith. Only Interval is required; zero
+// fields take the documented defaults.
+type PollConfig struct {
+	// Interval is the steady-state delay between successful polls.
+	// Required, positive.
+	Interval time.Duration
+	// AttemptTimeout bounds each fetch via a derived context, so a hung
+	// peer cannot wedge the polling loop past cancellation (the fetch
+	// must honor its context, as HTTP fetches do). Default: Interval,
+	// floored at MinAttemptTimeout.
+	AttemptTimeout time.Duration
+	// BackoffBase is the delay before the first retry after a failure
+	// (default Interval). Subsequent consecutive failures multiply the
+	// delay by BackoffFactor (default 2) up to BackoffMax (default
+	// 8×Interval), each jittered by ±BackoffJitter fraction (default
+	// 0.1; set negative for none).
+	BackoffBase   time.Duration
+	BackoffMax    time.Duration
+	BackoffFactor float64
+	BackoffJitter float64
+	// Seed drives the jitter RNG; same seed, same retry schedule.
+	Seed int64
+	// Breaker configures the consecutive-failure circuit breaker
+	// (BreakerConfig defaults apply; Threshold −1 disables).
+	Breaker BreakerConfig
+	// HalfLife is the Confidence decay half-life (0 = no decay).
+	HalfLife time.Duration
+}
+
+// MinAttemptTimeout floors the derived per-attempt timeout so that tests
+// polling at millisecond intervals don't time out real loopback fetches.
+const MinAttemptTimeout = 250 * time.Millisecond
+
+func (c PollConfig) withDefaults() PollConfig {
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = c.Interval
+	}
+	if c.AttemptTimeout < MinAttemptTimeout {
+		c.AttemptTimeout = MinAttemptTimeout
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = c.Interval
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 8 * c.Interval
+	}
+	if c.BackoffFactor == 0 {
+		c.BackoffFactor = 2
+	}
+	if c.BackoffJitter == 0 {
+		c.BackoffJitter = 0.1
+	}
+	return c
+}
+
+// PollWith fetches fetch() immediately and then repeatedly until ctx is
+// cancelled, publishing results into the returned Snapshot. It is the
+// hardened form of Poll: each attempt runs under a derived per-attempt
+// timeout, failures retry on jittered exponential backoff instead of the
+// steady interval, and a consecutive-failure circuit breaker suppresses
+// fetches entirely while a peer is down, probing half-open after a
+// cooldown. Failed polls keep the previous value (stale beats absent — the
+// §5 staleness stance) and record the error; Snapshot.Confidence grades
+// how far trust in that stale value has decayed. The done channel closes
+// when the polling goroutine exits.
+func PollWith[T any](ctx context.Context, cfg PollConfig, fetch func(context.Context) (T, error)) (*Snapshot[T], <-chan struct{}) {
+	if cfg.Interval <= 0 {
+		panic("lookingglass: poll interval must be positive")
+	}
+	cfg = cfg.withDefaults()
+	snap := &Snapshot[T]{halfLife: cfg.HalfLife}
+	var br *Breaker
+	if cfg.Breaker.Threshold >= 0 {
+		br = NewBreaker(cfg.Breaker)
+		snap.breaker = br
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		consec := 0
+		attempt := func() {
+			if br != nil && !br.Allow(time.Now()) {
+				snap.recordSkip()
+				return
+			}
+			actx, cancel := context.WithTimeout(ctx, cfg.AttemptTimeout)
+			v, err := fetch(actx)
+			cancel()
+			now := time.Now()
+			if err != nil {
+				consec++
+				if br != nil {
+					br.OnFailure(now)
+				}
+				snap.fail(err, now)
+				return
+			}
+			consec = 0
+			if br != nil {
+				br.OnSuccess(now)
+			}
+			snap.set(v, now)
+		}
+		attempt()
+		for {
+			d := cfg.Interval
+			if consec > 0 {
+				d = backoffDelay(cfg, consec, rng)
+			}
+			timer := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+				attempt()
+			}
+		}
+	}()
+	return snap, done
+}
+
+// backoffDelay computes the jittered exponential retry delay for the
+// consec'th consecutive failure (consec ≥ 1).
+func backoffDelay(cfg PollConfig, consec int, rng *rand.Rand) time.Duration {
+	d := float64(cfg.BackoffBase)
+	for i := 1; i < consec; i++ {
+		d *= cfg.BackoffFactor
+		if d >= float64(cfg.BackoffMax) {
+			break
+		}
+	}
+	if d > float64(cfg.BackoffMax) {
+		d = float64(cfg.BackoffMax)
+	}
+	if cfg.BackoffJitter > 0 {
+		d *= 1 + cfg.BackoffJitter*(2*rng.Float64()-1)
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
 }
 
 // Poll fetches fetch() immediately and then every interval until ctx is
 // cancelled, publishing results into the returned Snapshot. Failed polls
 // keep the previous value (stale beats absent — the §5 staleness stance)
-// and record the error. The done channel closes when the polling goroutine
-// exits.
+// and record the error. Each attempt runs under a derived context bounded
+// by the interval (floored at MinAttemptTimeout), so a hung fetch cannot
+// wedge the loop past ctx cancellation. The done channel closes when the
+// polling goroutine exits. For retry backoff, circuit breaking, and
+// confidence decay, use PollWith.
 func Poll[T any](ctx context.Context, interval time.Duration, fetch func(context.Context) (T, error)) (*Snapshot[T], <-chan struct{}) {
-	if interval <= 0 {
-		panic("lookingglass: poll interval must be positive")
-	}
-	snap := &Snapshot[T]{}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		tick := time.NewTicker(interval)
-		defer tick.Stop()
-		poll := func() {
-			v, err := fetch(ctx)
-			if err != nil {
-				snap.fail(err, time.Now())
-				return
-			}
-			snap.set(v, time.Now())
-		}
-		poll()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-tick.C:
-				poll()
-			}
-		}
-	}()
-	return snap, done
+	return PollWith(ctx, PollConfig{
+		Interval:      interval,
+		BackoffFactor: 1,
+		BackoffJitter: -1,
+		Breaker:       BreakerConfig{Threshold: -1},
+	}, fetch)
 }

@@ -1,7 +1,13 @@
 #!/bin/sh
-# Tier-1 gate (same as `make check`): build, vet, race-enabled tests.
+# Tier-1 gate (same as `make check`): gofmt, build, vet, race-enabled tests.
 set -eu
 cd "$(dirname "$0")/.."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 go build ./...
 go vet ./...
 go test -race ./...
