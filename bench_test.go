@@ -12,6 +12,7 @@ package eona_test
 // reproducible (E7's wall-clock throughputs vary by machine).
 
 import (
+	"fmt"
 	"testing"
 
 	"eona"
@@ -93,18 +94,28 @@ func BenchmarkE6Staleness(b *testing.B) {
 	b.ReportMetric(r.Baseline.MeanScore, "noeona-score")
 }
 
-// BenchmarkE7Scalability — §5: A2I pipeline throughput.
+// BenchmarkE7Scalability — §5: A2I pipeline throughput, including the
+// cluster-mode shard sweep (per-shard metrics are shardN-Mrec/s and
+// shardN-speedup; speedups are bounded by GOMAXPROCS on the machine).
 func BenchmarkE7Scalability(b *testing.B) {
 	var r eona.ScalabilityResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunScalability(200_000)
+		r = eona.RunScalabilityConfig(eona.ScalabilityConfig{
+			Records:     200_000,
+			ShardCounts: []int{1, 2, 4, 8},
+		})
 	}
 	b.ReportMetric(r.CollectorPerSec, "ingest-rec/s")
 	b.ReportMetric(r.ImpliedSessionsPerDay/1e9, "sessions-B/day")
 	b.ReportMetric(float64(r.QueryP50.Microseconds()), "query-p50-us")
 	b.ReportMetric(r.ChurnFullPerSec/1e3, "churn-full-kmut/s")
 	b.ReportMetric(r.ChurnIncrementalPerSec/1e3, "churn-incr-kmut/s")
+	b.ReportMetric(r.ChurnAutoTunePerSec/1e3, "churn-auto-kmut/s")
 	b.ReportMetric(r.ChurnSpeedup, "churn-speedup")
+	for _, p := range r.ShardPoints {
+		b.ReportMetric(p.PerSec/1e6, fmt.Sprintf("shard%d-Mrec/s", p.Shards))
+		b.ReportMetric(p.Speedup, fmt.Sprintf("shard%d-speedup", p.Shards))
+	}
 }
 
 // BenchmarkE8InterfaceWidth — §4: interface width ladder.

@@ -3,17 +3,22 @@
 //
 // Usage:
 //
-//	eona-bench [-seed N] [-only E2,E8] [-skip-slow]
+//	eona-bench [-seed N] [-only E2,E8] [-skip-slow] [-shards 1,2,4,8] [-parallel N]
 //
 // -only selects a comma-separated subset by experiment ID. -skip-slow
 // omits the fleet simulations (E1, E4) and the wall-clock measurement
-// (E7), which dominate runtime.
+// (E7), which dominate runtime. -shards sets the shard counts swept by
+// E7's cluster-mode rows. -parallel runs that many experiments
+// concurrently (0 = GOMAXPROCS); tables still print in suite order. E7's
+// wall-clock rows are only meaningful at -parallel 1, since co-running
+// experiments steal the cycles it is timing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"eona"
@@ -23,43 +28,29 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (results are deterministic per seed)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E2,E8); empty = all")
 	skipSlow := flag.Bool("skip-slow", false, "skip the slower experiments (E1, E4, E7)")
+	shards := flag.String("shards", "1,2,4,8", "comma-separated shard counts for E7's cluster-mode ingest rows")
+	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	counts, err := parseShards(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eona-bench: %v\n", err)
+		os.Exit(2)
+	}
+
 	want := selector(*only, *skipSlow)
-
-	type stringer interface{ String() string }
-	experiments := []struct {
-		id  string
-		run func() stringer
-	}{
-		{"E1", func() stringer { return eona.RunFlashCrowd(*seed).Table() }},
-		{"E2", func() stringer { return eona.RunOscillation(*seed).Table() }},
-		{"E3", func() stringer { return eona.RunInference(*seed).Table() }},
-		{"E4", func() stringer { return eona.RunCoarseControl(*seed).Table() }},
-		{"E5", func() stringer { return eona.RunEnergySaving(*seed).Table() }},
-		{"E6", func() stringer { return eona.RunStaleness(*seed).Table() }},
-		{"E7", func() stringer { return eona.RunScalability(0).Table() }},
-		{"E8", func() stringer { return eona.RunInterfaceWidth(*seed).Table() }},
-		{"E9", func() stringer { return eona.RunTimescales(*seed).Table() }},
-		{"E10", func() stringer { return eona.RunFairness(*seed).Table() }},
-		{"E11", func() stringer { return eona.RunPrivacy(*seed).Table() }},
-		{"E12", func() stringer { return eona.RunFeatureSelection(*seed).Table() }},
-		{"E13", func() stringer { return eona.RunWebCellular(*seed).Table() }},
-		{"E14", func() stringer { return eona.RunSearchSpace(*seed).Table() }},
-		{"E15", func() stringer { return eona.RunChaos(*seed).Table() }},
-	}
-
-	ran := 0
-	for _, e := range experiments {
-		if !want(e.id) {
-			continue
+	var selected []eona.Experiment
+	for _, e := range eona.ExperimentSuite(*seed, eona.ScalabilityConfig{ShardCounts: counts}) {
+		if want(e.ID) {
+			selected = append(selected, e)
 		}
-		fmt.Println(e.run().String())
-		ran++
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		fmt.Fprintln(os.Stderr, "eona-bench: no experiments selected")
 		os.Exit(2)
+	}
+	for _, tb := range eona.RunExperiments(selected, *parallel) {
+		fmt.Println(tb.String())
 	}
 }
 
@@ -82,4 +73,25 @@ func selector(only string, skipSlow bool) func(id string) bool {
 		}
 		return !(skipSlow && slowExperiments[id])
 	}
+}
+
+// parseShards parses the -shards list; every entry must be a positive
+// integer.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -shards entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-shards must name at least one shard count")
+	}
+	return out, nil
 }

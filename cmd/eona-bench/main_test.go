@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestSelectorAll(t *testing.T) {
 	want := selector("", false)
@@ -37,5 +40,24 @@ func TestSelectorOnlyOverridesSkipSlow(t *testing.T) {
 	want := selector("E1", true)
 	if !want("E1") {
 		t.Error("-only E1 should include E1 even with -skip-slow")
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	got, err := parseShards("1, 2,4,8")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 4, 8}) {
+		t.Errorf("parseShards = %v, %v; want [1 2 4 8]", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "two", "4,"} {
+		if bad == "4," {
+			// Trailing commas are tolerated.
+			if _, err := parseShards(bad); err != nil {
+				t.Errorf("parseShards(%q) rejected: %v", bad, err)
+			}
+			continue
+		}
+		if _, err := parseShards(bad); err == nil {
+			t.Errorf("parseShards(%q) accepted", bad)
+		}
 	}
 }

@@ -111,6 +111,10 @@ type (
 	// QoERecords into windowed, blinded summaries and traffic
 	// estimates.
 	Collector = core.Collector
+	// ShardedCollector is the cluster-mode Collector: N shards selected
+	// by session-ID hash, each owned by its own goroutine, merged
+	// lock-free at query time into the same summary outputs.
+	ShardedCollector = core.ShardedCollector
 	// ExportPolicy sets the blinding level of an A2I export
 	// (k-anonymity, Laplace noise, coarsening) — §4's
 	// effectiveness-vs-minimality knob.
@@ -121,6 +125,13 @@ type (
 // estimate window (default 5 minutes); seed feeds the privacy noiser.
 func NewCollector(appP string, policy ExportPolicy, window time.Duration, seed int64) *Collector {
 	return core.NewCollector(appP, policy, window, seed)
+}
+
+// NewShardedCollector builds a cluster-mode Collector with the given shard
+// count (panics when shards < 1). Ingest and IngestBatch are safe for
+// concurrent producers; Close drains the shards.
+func NewShardedCollector(appP string, policy ExportPolicy, window time.Duration, seed int64, shards int) *ShardedCollector {
+	return core.NewShardedCollector(appP, policy, window, seed, shards)
 }
 
 // Per-collaborator standing: which surfaces each partner may read and
@@ -394,6 +405,16 @@ func RunStaleness(seed int64) StalenessResult { return expt.RunE6(seed) }
 // (default 500k when ≤ 0).
 func RunScalability(n int) ScalabilityResult { return expt.RunE7(n) }
 
+// ScalabilityConfig parameterizes E7: record volume and the shard counts
+// swept for the cluster-mode rows.
+type ScalabilityConfig = expt.E7Config
+
+// ScalabilityShardPoint is one cluster-mode measurement.
+type ScalabilityShardPoint = expt.E7ShardPoint
+
+// RunScalabilityConfig measures the A2I pipeline with explicit knobs.
+func RunScalabilityConfig(cfg ScalabilityConfig) ScalabilityResult { return expt.RunE7Config(cfg) }
+
 // RunInterfaceWidth runs the §4 none→narrow→oracle ladder (E8).
 func RunInterfaceWidth(seed int64) InterfaceWidthResult { return expt.RunE8(seed) }
 
@@ -421,3 +442,28 @@ func RunSearchSpace(seed int64) SearchSpaceResult { return expt.RunE14(seed) }
 // seeded fault plans (access-link flap + partner-exchange outage),
 // comparing baseline, hint-trusting EONA, and confidence-aware EONA.
 func RunChaos(seed int64) ChaosResult { return expt.RunE15(seed) }
+
+// ---- The E-suite as data (parallel runner) ----
+
+type (
+	// Experiment is one runnable E-suite entry (ID, slow flag, Run).
+	Experiment = expt.Experiment
+	// ExperimentTable is the rendered result of one experiment.
+	ExperimentTable = expt.Table
+)
+
+// ExperimentSuite returns the full E1–E15 list bound to a seed; e7
+// parameterizes the scalability run. Entries are independent (private
+// seeded randomness, private simulated networks) and safe to run
+// concurrently; only E7's wall-clock rows lose meaning under co-running
+// load.
+func ExperimentSuite(seed int64, e7 ScalabilityConfig) []Experiment {
+	return expt.Suite(seed, e7)
+}
+
+// RunExperiments executes experiments with at most parallelism workers
+// (GOMAXPROCS when ≤ 0), returning tables in input order. parallelism 1
+// reproduces the sequential runner exactly.
+func RunExperiments(exps []Experiment, parallelism int) []*ExperimentTable {
+	return expt.RunConcurrent(exps, parallelism)
+}

@@ -3,6 +3,7 @@ package agg
 import (
 	"fmt"
 	"hash/maphash"
+	"time"
 )
 
 // Merge operations let aggregation shard across workers and combine — the
@@ -82,5 +83,56 @@ func (r *Rollup[K]) Merge(other *Rollup[K]) {
 		for _, name := range og.Metrics() {
 			g.Metric(name).Merge(og.metrics[name])
 		}
+	}
+}
+
+// Clone returns a deep copy of the rollup: the copy and the original
+// aggregate independently afterwards. A per-shard worker hands clones to a
+// merge step so the reader never touches live accumulators.
+func (r *Rollup[K]) Clone() *Rollup[K] {
+	out := NewRollup[K]()
+	out.order = append([]K(nil), r.order...)
+	for k, g := range r.groups {
+		cg := &Group{metrics: make(map[string]*Welford, len(g.metrics))}
+		for name, w := range g.metrics {
+			cw := *w
+			cg.metrics[name] = &cw
+		}
+		out.groups[k] = cg
+	}
+	return out
+}
+
+// Merge folds another window's buckets into w, as if w had received every
+// Add of both. Both windows must share the same shape (bucket count and
+// duration) — merging mismatched windows would mis-bucket time, so they
+// panic. When the two windows hold different epochs at the same ring index,
+// the newer epoch wins, matching the single-window behaviour of bucketFor
+// zeroing an aged-out slot on reuse.
+func (w *Windowed) Merge(other *Windowed) {
+	if w.bucketDur != other.bucketDur || len(w.buckets) != len(other.buckets) {
+		panic(fmt.Sprintf("agg: merging windowed of shape %dx%v with %dx%v",
+			len(w.buckets), w.bucketDur, len(other.buckets), other.bucketDur))
+	}
+	for i, s := range other.starts {
+		if s < 0 {
+			continue
+		}
+		switch {
+		case w.starts[i] == s:
+			w.buckets[i] += other.buckets[i]
+		case w.starts[i] < s:
+			w.starts[i] = s
+			w.buckets[i] = other.buckets[i]
+		}
+	}
+}
+
+// Clone returns an independent copy of the window.
+func (w *Windowed) Clone() *Windowed {
+	return &Windowed{
+		bucketDur: w.bucketDur,
+		buckets:   append([]float64(nil), w.buckets...),
+		starts:    append([]time.Duration(nil), w.starts...),
 	}
 }

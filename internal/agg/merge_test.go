@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestCountMinMergeMatchesSingle(t *testing.T) {
@@ -122,6 +123,95 @@ func TestRollupMerge(t *testing.T) {
 	keys := a.Keys()
 	if keys[0] != "isp1/cdnX" || keys[1] != "isp2/cdnY" {
 		t.Errorf("key order after merge = %v", keys)
+	}
+}
+
+func TestRollupClone(t *testing.T) {
+	r := NewRollup[string]()
+	r.Observe("a", "score", 10)
+	r.Observe("b", "score", 20)
+	cp := r.Clone()
+	cp.Observe("a", "score", 90)
+	cp.Observe("c", "score", 5)
+	if got := r.Group("a").Metric("score").Count(); got != 1 {
+		t.Errorf("original mutated through clone: count = %d", got)
+	}
+	if r.Group("c") != nil || r.Len() != 2 {
+		t.Error("clone's new group leaked into original")
+	}
+	if got := cp.Group("a").Metric("score").Mean(); got != 50 {
+		t.Errorf("clone mean = %v, want 50", got)
+	}
+	keys := cp.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("clone key order = %v", keys)
+	}
+}
+
+func TestWindowedMergeMatchesSingle(t *testing.T) {
+	const n, bucket = 6, time.Second
+	single := NewWindowed(n, bucket)
+	a, b := NewWindowed(n, bucket), NewWindowed(n, bucket)
+	// Spread adds over three window-lengths so ring indices are reused
+	// with different epochs on each side of the partition.
+	for i := 0; i < 40; i++ {
+		at := time.Duration(i) * 450 * time.Millisecond
+		v := float64(i + 1)
+		single.Add(at, v)
+		if i%3 == 0 {
+			a.Add(at, v)
+		} else {
+			b.Add(at, v)
+		}
+	}
+	a.Merge(b)
+	for _, now := range []time.Duration{0, 3 * time.Second, 10 * time.Second, 18 * time.Second, time.Minute} {
+		if got, want := a.Sum(now), single.Sum(now); got != want {
+			t.Errorf("Sum(%v): merged %v != single %v", now, got, want)
+		}
+	}
+}
+
+func TestWindowedMergeNewerEpochWins(t *testing.T) {
+	a, b := NewWindowed(2, time.Second), NewWindowed(2, time.Second)
+	a.Add(0, 3)              // index 0, epoch 0s
+	b.Add(10*time.Second, 7) // index 0, epoch 10s — strictly newer
+	a.Merge(b)
+	if got := a.Sum(10 * time.Second); got != 7 {
+		t.Errorf("Sum after epoch-conflict merge = %v, want 7 (newer epoch)", got)
+	}
+	// The reverse merge direction must agree: older epochs are dropped.
+	c := NewWindowed(2, time.Second)
+	c.Add(10*time.Second, 7)
+	d := NewWindowed(2, time.Second)
+	d.Add(0, 3)
+	c.Merge(d)
+	if got := c.Sum(10 * time.Second); got != 7 {
+		t.Errorf("reverse merge = %v, want 7", got)
+	}
+}
+
+func TestWindowedMergeShapeMismatchPanics(t *testing.T) {
+	a := NewWindowed(4, time.Second)
+	b := NewWindowed(8, time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestWindowedClone(t *testing.T) {
+	w := NewWindowed(4, time.Second)
+	w.Add(time.Second, 5)
+	cp := w.Clone()
+	cp.Add(2*time.Second, 9)
+	if got := w.Sum(3 * time.Second); got != 5 {
+		t.Errorf("original mutated through clone: %v", got)
+	}
+	if got := cp.Sum(3 * time.Second); got != 14 {
+		t.Errorf("clone sum = %v, want 14", got)
 	}
 }
 

@@ -224,7 +224,6 @@ type Windowed struct {
 	bucketDur time.Duration
 	buckets   []float64
 	starts    []time.Duration
-	head      int
 }
 
 // NewWindowed covers a window of n buckets of the given duration.

@@ -107,69 +107,88 @@ func (c *Collector) SummariesUnder(policy ExportPolicy, seed int64) []QoESummary
 }
 
 func (c *Collector) summariesUnder(policy ExportPolicy, noiser *privacy.Noiser) []QoESummary {
+	return summarizeRollup(c.rollup, c.rollup.Keys(), policy, noiser)
+}
+
+// summarizeRollup renders the groups named by keys, in that order, under a
+// policy. Suppressed groups are skipped; noise is drawn only for surviving
+// groups, in key order, so the noiser stream position is a deterministic
+// function of the exported set. Shared by Collector and ShardedCollector.
+func summarizeRollup(r *agg.Rollup[SummaryKey], keys []SummaryKey, policy ExportPolicy, noiser *privacy.Noiser) []QoESummary {
 	var out []QoESummary
-	counts := make(map[SummaryKey]uint64)
-	for _, k := range c.rollup.Keys() {
-		counts[k] = c.rollup.Group(k).Metric("score").Count()
-	}
-	kept := privacy.SuppressSmallGroups(counts, policy.MinGroupSessions)
-	for _, k := range c.rollup.Keys() {
-		if _, ok := kept[k]; !ok {
-			continue
+	for _, k := range keys {
+		if s, ok := summarizeGroup(r.Group(k), k, policy, noiser); ok {
+			out = append(out, s)
 		}
-		g := c.rollup.Group(k)
-		s := QoESummary{
-			Key:                k,
-			Sessions:           float64(g.Metric("score").Count()),
-			MeanScore:          g.Metric("score").Mean(),
-			MeanBufferingRatio: g.Metric("bufratio").Mean(),
-			MeanBitrateBps:     g.Metric("bitrate").Mean(),
-			MeanStartupSec:     g.Metric("startup").Mean(),
-			AbandonmentRate:    g.Metric("abandoned").Mean(),
-		}
-		if policy.NoiseEpsilon > 0 {
-			s.Sessions = noiser.NoisyCount(uint64(s.Sessions))
-			s.MeanScore = clampScore(noiser.Noise(s.MeanScore))
-			s.MeanBufferingRatio = clamp01(noiser.Noise(s.MeanBufferingRatio))
-		}
-		s.MeanScore = privacy.CoarsenFloat(s.MeanScore, policy.CoarsenScoreStep)
-		out = append(out, s)
 	}
 	return out
 }
 
-// SummaryFor returns the summary for one group, if it survives blinding.
-func (c *Collector) SummaryFor(key SummaryKey) (QoESummary, bool) {
-	for _, s := range c.Summaries() {
-		if s.Key == key {
-			return s, true
-		}
+// summarizeGroup renders one group under a policy, reporting false when the
+// group is absent or suppressed by k-anonymity.
+func summarizeGroup(g *agg.Group, k SummaryKey, policy ExportPolicy, noiser *privacy.Noiser) (QoESummary, bool) {
+	if g == nil {
+		return QoESummary{}, false
 	}
-	return QoESummary{}, false
+	sessions := g.Metric("score").Count()
+	if policy.MinGroupSessions > 1 && sessions < policy.MinGroupSessions {
+		return QoESummary{}, false
+	}
+	s := QoESummary{
+		Key:                k,
+		Sessions:           float64(sessions),
+		MeanScore:          g.Metric("score").Mean(),
+		MeanBufferingRatio: g.Metric("bufratio").Mean(),
+		MeanBitrateBps:     g.Metric("bitrate").Mean(),
+		MeanStartupSec:     g.Metric("startup").Mean(),
+		AbandonmentRate:    g.Metric("abandoned").Mean(),
+	}
+	if policy.NoiseEpsilon > 0 {
+		s.Sessions = noiser.NoisyCount(sessions)
+		s.MeanScore = clampScore(noiser.Noise(s.MeanScore))
+		s.MeanBufferingRatio = clamp01(noiser.Noise(s.MeanBufferingRatio))
+	}
+	s.MeanScore = privacy.CoarsenFloat(s.MeanScore, policy.CoarsenScoreStep)
+	return s, true
+}
+
+// SummaryFor returns the summary for one group, if it survives blinding.
+// It renders only the requested group — O(1) in the number of groups,
+// where it used to materialize every summary per lookup.
+func (c *Collector) SummaryFor(key SummaryKey) (QoESummary, bool) {
+	return summarizeGroup(c.rollup.Group(key), key, c.Policy, c.noiser)
 }
 
 // TrafficEstimates returns per-CDN demand estimates over the window ending
 // at now: mean bits/s plus sessions completed in the window.
 func (c *Collector) TrafficEstimates(now time.Duration) []TrafficEstimate {
+	return trafficEstimates(c.AppP, c.trafficBits, c.trafficSessions,
+		c.window, now, c.Policy, c.noiser, c.volNoiser)
+}
+
+// trafficEstimates renders per-CDN windowed volume/session estimates under
+// a policy. Shared by Collector and ShardedCollector.
+func trafficEstimates(appP string, trafficBits, trafficSessions map[string]*agg.Windowed,
+	window, now time.Duration, policy ExportPolicy, noiser, volNoiser *privacy.Noiser) []TrafficEstimate {
 	var out []TrafficEstimate
 	// Deterministic order: iterate CDNs sorted.
-	cdns := make([]string, 0, len(c.trafficBits))
-	for cdnName := range c.trafficBits {
+	cdns := make([]string, 0, len(trafficBits))
+	for cdnName := range trafficBits {
 		cdns = append(cdns, cdnName)
 	}
 	sort.Strings(cdns)
 	for _, cdnName := range cdns {
-		bits := c.trafficBits[cdnName].Sum(now)
-		sessions := c.trafficSessions[cdnName].Sum(now)
+		bits := trafficBits[cdnName].Sum(now)
+		sessions := trafficSessions[cdnName].Sum(now)
 		est := TrafficEstimate{
-			AppP:      c.AppP,
+			AppP:      appP,
 			CDN:       cdnName,
-			VolumeBps: bits / c.window.Seconds(),
+			VolumeBps: bits / window.Seconds(),
 			Sessions:  sessions,
 		}
-		if c.Policy.NoiseEpsilon > 0 {
-			est.Sessions = c.noiser.NoisyCount(uint64(est.Sessions))
-			if v := c.volNoiser.Noise(est.VolumeBps); v > 0 {
+		if policy.NoiseEpsilon > 0 {
+			est.Sessions = noiser.NoisyCount(uint64(est.Sessions))
+			if v := volNoiser.Noise(est.VolumeBps); v > 0 {
 				est.VolumeBps = v
 			} else {
 				est.VolumeBps = 0

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eona/internal/agg"
+	"eona/internal/privacy"
+)
+
+// shardChanBuffer bounds each shard's ingest queue. A full queue blocks the
+// producer — backpressure, not loss — so the collector's memory stays
+// bounded however fast records arrive.
+const shardChanBuffer = 1024
+
+// ShardedCollector is the cluster-mode A2I producer: N independent
+// Collector shards, selected by FNV-1a hash of the session ID, each owned
+// by its own goroutine and fed through a bounded channel. Readers never
+// take a lock: queries travel in-band through the same channels, each shard
+// replies with a snapshot (a clone of its rollup and traffic windows), and
+// the merge step combines the snapshots with agg's Merge operations into
+// the same QoESummary/TrafficEstimate outputs the single-goroutine
+// Collector produces.
+//
+// Semantics relative to Collector, for the same record stream from one
+// producer goroutine:
+//
+//   - Group key sets, export order (global first-observation order,
+//     recovered from per-record sequence numbers), session counts, and
+//     k-anonymity suppression decisions are identical.
+//   - With Policy.NoiseEpsilon == 0 and one shard the outputs are
+//     bit-identical. Across shard counts, counts and sums of integral
+//     values stay exact; means of a group whose sessions span shards agree
+//     to floating-point associativity (~1e-12 relative), and are exact
+//     whenever all of a group's sessions hash to one shard.
+//   - With NoiseEpsilon > 0 the noise stream differs from Collector's (see
+//     the per-query noiser note below) but remains deterministic: it
+//     depends only on (seed, query index), never on goroutine scheduling.
+//
+// Ingest and IngestBatch are safe for concurrent producers, and queries are
+// safe concurrently with ingest (each query sees, per shard, a prefix of
+// that shard's stream containing at least every record whose Ingest call
+// returned before the query started). Close must not race with producers
+// or queries; after Close, queries read the quiescent shard state directly.
+type ShardedCollector struct {
+	AppP   string
+	Policy ExportPolicy
+
+	window time.Duration
+	seed   int64
+	shards []*collectorShard
+	wg     sync.WaitGroup
+
+	// seq stamps every record with a global arrival index so the merge
+	// step can reconstruct the single-collector export order.
+	seq      atomic.Uint64
+	ingested atomic.Uint64
+	// queries derives a fresh deterministic noiser per query: the single
+	// Collector advances one noiser stream across calls, which a
+	// lock-free reader cannot share, so each sharded query draws from a
+	// stream seeded by (seed, query index) instead.
+	queries atomic.Uint64
+	closing sync.Once
+	closed  atomic.Bool
+}
+
+type collectorShard struct {
+	ch  chan shardMsg
+	col *Collector
+	// firstSeq records the smallest arrival index at which the shard saw
+	// each group, for global export-order reconstruction at merge time.
+	firstSeq map[SummaryKey]uint64
+}
+
+type shardRec struct {
+	rec QoERecord
+	seq uint64
+}
+
+// shardMsg is the sum type flowing through a shard's channel: exactly one
+// of rec (single record), batch, or snap (snapshot request) is set.
+type shardMsg struct {
+	rec   shardRec
+	batch []shardRec
+	snap  chan<- shardSnapshot
+}
+
+type shardSnapshot struct {
+	rollup          *agg.Rollup[SummaryKey]
+	firstSeq        map[SummaryKey]uint64
+	trafficBits     map[string]*agg.Windowed
+	trafficSessions map[string]*agg.Windowed
+}
+
+// NewShardedCollector builds a collector with the given number of shards
+// (panics when shards < 1). window and seed behave as in NewCollector; each
+// shard's private Collector gets its own seed derived from the base seed,
+// so per-shard noise streams are independent and reproducible.
+func NewShardedCollector(appP string, policy ExportPolicy, window time.Duration, seed int64, shards int) *ShardedCollector {
+	if shards < 1 {
+		panic(fmt.Sprintf("core: ShardedCollector needs at least 1 shard, got %d", shards))
+	}
+	if window <= 0 {
+		window = 5 * time.Minute
+	}
+	sc := &ShardedCollector{
+		AppP:   appP,
+		Policy: policy,
+		window: window,
+		seed:   seed,
+		shards: make([]*collectorShard, shards),
+	}
+	for i := range sc.shards {
+		s := &collectorShard{
+			ch:       make(chan shardMsg, shardChanBuffer),
+			col:      NewCollector(appP, policy, window, seed+int64(2*(i+1))),
+			firstSeq: make(map[SummaryKey]uint64),
+		}
+		sc.shards[i] = s
+		sc.wg.Add(1)
+		go func() {
+			defer sc.wg.Done()
+			s.run()
+		}()
+	}
+	return sc
+}
+
+// shardOf hashes a session ID with FNV-1a (inlined: hash/fnv allocates) so
+// all of a session's records land on one shard.
+func shardOf(sessionID string, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(sessionID); i++ {
+		h ^= uint64(sessionID[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+func (s *collectorShard) run() {
+	for m := range s.ch {
+		switch {
+		case m.snap != nil:
+			m.snap <- s.snapshot()
+		case m.batch != nil:
+			for _, r := range m.batch {
+				s.ingest(r)
+			}
+		default:
+			s.ingest(m.rec)
+		}
+	}
+}
+
+func (s *collectorShard) ingest(r shardRec) {
+	key := SummaryKey{ClientISP: r.rec.ClientISP, CDN: r.rec.CDN, Cluster: r.rec.Cluster}
+	if q, ok := s.firstSeq[key]; !ok || r.seq < q {
+		s.firstSeq[key] = r.seq
+	}
+	s.col.Ingest(r.rec)
+}
+
+// snapshot clones the shard's state. It runs on the shard goroutine, so it
+// observes a consistent prefix of the shard's stream; the clones are handed
+// to the reader, which merges them without ever touching live accumulators.
+func (s *collectorShard) snapshot() shardSnapshot {
+	fs := make(map[SummaryKey]uint64, len(s.firstSeq))
+	for k, q := range s.firstSeq {
+		fs[k] = q
+	}
+	bits := make(map[string]*agg.Windowed, len(s.col.trafficBits))
+	for cdnName, w := range s.col.trafficBits {
+		bits[cdnName] = w.Clone()
+	}
+	sessions := make(map[string]*agg.Windowed, len(s.col.trafficSessions))
+	for cdnName, w := range s.col.trafficSessions {
+		sessions[cdnName] = w.Clone()
+	}
+	return shardSnapshot{
+		rollup:          s.col.rollup.Clone(),
+		firstSeq:        fs,
+		trafficBits:     bits,
+		trafficSessions: sessions,
+	}
+}
+
+// Ingest routes one finished session to its shard, blocking only when that
+// shard's queue is full.
+func (sc *ShardedCollector) Ingest(rec QoERecord) {
+	sc.ingested.Add(1)
+	r := shardRec{rec: rec, seq: sc.seq.Add(1)}
+	sc.shards[shardOf(rec.SessionID, len(sc.shards))].ch <- shardMsg{rec: r}
+}
+
+// IngestBatch routes a batch of records, one channel send per touched shard
+// — the high-throughput path for frontends that deliver measurements in
+// batches, amortizing channel synchronization across the batch.
+func (sc *ShardedCollector) IngestBatch(recs []QoERecord) {
+	if len(recs) == 0 {
+		return
+	}
+	n := uint64(len(recs))
+	base := sc.seq.Add(n) - n
+	sc.ingested.Add(n)
+	batches := make([][]shardRec, len(sc.shards))
+	for i := range recs {
+		s := shardOf(recs[i].SessionID, len(sc.shards))
+		batches[s] = append(batches[s], shardRec{rec: recs[i], seq: base + uint64(i) + 1})
+	}
+	for s, b := range batches {
+		if len(b) > 0 {
+			sc.shards[s].ch <- shardMsg{batch: b}
+		}
+	}
+}
+
+// Ingested returns the number of records accepted so far, including any
+// still queued in shard channels; Flush settles the difference.
+func (sc *ShardedCollector) Ingested() uint64 { return sc.ingested.Load() }
+
+// Shards returns the shard count.
+func (sc *ShardedCollector) Shards() int { return len(sc.shards) }
+
+// Flush blocks until every record accepted before the call has been folded
+// into its shard's rollup.
+func (sc *ShardedCollector) Flush() {
+	if sc.closed.Load() {
+		return
+	}
+	sc.snapshots() // an in-band round trip through every shard queue
+}
+
+// Close drains and stops the shard goroutines. Queries remain valid after
+// Close (they read the quiescent shards directly); Ingest does not.
+// Close is idempotent.
+func (sc *ShardedCollector) Close() {
+	sc.closing.Do(func() {
+		for _, s := range sc.shards {
+			close(s.ch)
+		}
+		sc.wg.Wait()
+		sc.closed.Store(true)
+	})
+}
+
+func (sc *ShardedCollector) snapshots() []shardSnapshot {
+	out := make([]shardSnapshot, len(sc.shards))
+	if sc.closed.Load() {
+		// Shard goroutines have exited and Close's Wait established the
+		// happens-before edge: read the quiescent state without cloning.
+		for i, s := range sc.shards {
+			out[i] = shardSnapshot{
+				rollup:          s.col.rollup,
+				firstSeq:        s.firstSeq,
+				trafficBits:     s.col.trafficBits,
+				trafficSessions: s.col.trafficSessions,
+			}
+		}
+		return out
+	}
+	// Fan the request out to every shard before collecting any reply, so
+	// the shards snapshot concurrently.
+	replies := make([]chan shardSnapshot, len(sc.shards))
+	for i, s := range sc.shards {
+		replies[i] = make(chan shardSnapshot, 1)
+		s.ch <- shardMsg{snap: replies[i]}
+	}
+	for i := range replies {
+		out[i] = <-replies[i]
+	}
+	return out
+}
+
+// mergedState is the reader-side combination of all shard snapshots.
+type mergedState struct {
+	rollup *agg.Rollup[SummaryKey]
+	// keys holds the merged groups in global first-observation order —
+	// the order a single Collector would have exported.
+	keys            []SummaryKey
+	trafficBits     map[string]*agg.Windowed
+	trafficSessions map[string]*agg.Windowed
+}
+
+func (sc *ShardedCollector) merge() mergedState {
+	snaps := sc.snapshots()
+	m := mergedState{
+		rollup:          agg.NewRollup[SummaryKey](),
+		trafficBits:     make(map[string]*agg.Windowed),
+		trafficSessions: make(map[string]*agg.Windowed),
+	}
+	firstSeq := make(map[SummaryKey]uint64)
+	for _, sn := range snaps {
+		m.rollup.Merge(sn.rollup)
+		for k, q := range sn.firstSeq {
+			if cur, ok := firstSeq[k]; !ok || q < cur {
+				firstSeq[k] = q
+			}
+		}
+		mergeWindowedInto(m.trafficBits, sn.trafficBits)
+		mergeWindowedInto(m.trafficSessions, sn.trafficSessions)
+	}
+	m.keys = m.rollup.Keys()
+	sort.Slice(m.keys, func(i, j int) bool { return firstSeq[m.keys[i]] < firstSeq[m.keys[j]] })
+	return m
+}
+
+func mergeWindowedInto(dst, src map[string]*agg.Windowed) {
+	for k, w := range src {
+		if d, ok := dst[k]; ok {
+			d.Merge(w)
+		} else {
+			dst[k] = w.Clone()
+		}
+	}
+}
+
+// queryNoisers returns fresh noisers for one query, seeded by the query
+// index so results are reproducible independent of scheduling.
+func (sc *ShardedCollector) queryNoisers(policy ExportPolicy) (noiser, volNoiser *privacy.Noiser) {
+	q := int64(sc.queries.Add(1))
+	seed := sc.seed + q*1_000_003
+	return privacy.NewNoiser(policy.NoiseEpsilon, 1, seed),
+		privacy.NewNoiser(policy.NoiseEpsilon, volumeSensitivity, seed+1)
+}
+
+// Summaries merges every shard's rollup and blinds the result under the
+// collector's own policy.
+func (sc *ShardedCollector) Summaries() []QoESummary {
+	m := sc.merge()
+	noiser, _ := sc.queryNoisers(sc.Policy)
+	return summarizeRollup(m.rollup, m.keys, sc.Policy, noiser)
+}
+
+// SummariesUnder renders the merged summaries under a different policy —
+// the per-collaborator export path, mirroring Collector.SummariesUnder.
+func (sc *ShardedCollector) SummariesUnder(policy ExportPolicy, seed int64) []QoESummary {
+	m := sc.merge()
+	return summarizeRollup(m.rollup, m.keys, policy, privacy.NewNoiser(policy.NoiseEpsilon, 1, seed))
+}
+
+// SummaryFor returns the merged summary for one group, if it survives
+// blinding.
+func (sc *ShardedCollector) SummaryFor(key SummaryKey) (QoESummary, bool) {
+	m := sc.merge()
+	noiser, _ := sc.queryNoisers(sc.Policy)
+	return summarizeGroup(m.rollup.Group(key), key, sc.Policy, noiser)
+}
+
+// TrafficEstimates merges every shard's traffic windows and renders per-CDN
+// demand estimates over the window ending at now.
+func (sc *ShardedCollector) TrafficEstimates(now time.Duration) []TrafficEstimate {
+	m := sc.merge()
+	noiser, volNoiser := sc.queryNoisers(sc.Policy)
+	return trafficEstimates(sc.AppP, m.trafficBits, m.trafficSessions,
+		sc.window, now, sc.Policy, noiser, volNoiser)
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// genRecords builds a deterministic stream of QoERecords spread over many
+// sessions, ISPs, CDNs, and clusters.
+func genRecords(n int, seed int64) []QoERecord {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]QoERecord, n)
+	for i := range recs {
+		recs[i] = QoERecord{
+			SessionID:      fmt.Sprintf("sess-%d", rng.Intn(n/2+1)),
+			Timestamp:      time.Duration(i) * 7 * time.Millisecond,
+			AppP:           "appp-1",
+			ClientISP:      fmt.Sprintf("isp%d", rng.Intn(5)),
+			CDN:            fmt.Sprintf("cdn%d", rng.Intn(3)),
+			Cluster:        fmt.Sprintf("cl%d", rng.Intn(4)),
+			Score:          rng.Float64() * 100,
+			BufferingRatio: rng.Float64() * 0.2,
+			AvgBitrateBps:  1e6 + rng.Float64()*4e6,
+			StartupDelay:   time.Duration(rng.Intn(4000)) * time.Millisecond,
+			PlayTime:       time.Duration(30+rng.Intn(300)) * time.Second,
+			Abandoned:      rng.Intn(10) == 0,
+		}
+	}
+	return recs
+}
+
+func summariesAlmostEqual(t *testing.T, got, want []QoESummary, exact bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("summary count = %d, want %d", len(got), len(want))
+	}
+	const tol = 1e-9
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Key != w.Key {
+			t.Fatalf("summary[%d] key = %+v, want %+v (export order not preserved)", i, g.Key, w.Key)
+		}
+		if g.Sessions != w.Sessions {
+			t.Errorf("summary[%d] sessions = %v, want %v", i, g.Sessions, w.Sessions)
+		}
+		if exact {
+			if g != w {
+				t.Errorf("summary[%d] not bit-identical:\n got %+v\nwant %+v", i, g, w)
+			}
+			continue
+		}
+		for _, f := range []struct {
+			name   string
+			gv, wv float64
+		}{
+			{"MeanScore", g.MeanScore, w.MeanScore},
+			{"MeanBufferingRatio", g.MeanBufferingRatio, w.MeanBufferingRatio},
+			{"MeanBitrateBps", g.MeanBitrateBps, w.MeanBitrateBps},
+			{"MeanStartupSec", g.MeanStartupSec, w.MeanStartupSec},
+			{"AbandonmentRate", g.AbandonmentRate, w.AbandonmentRate},
+		} {
+			if relDiff(f.gv, f.wv) > tol {
+				t.Errorf("summary[%d] %s = %v, want %v", i, f.name, f.gv, f.wv)
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d / scale
+}
+
+// TestShardedCollectorEquivalence: with NoiseEpsilon=0, a ShardedCollector
+// at any shard count produces the same summaries and traffic estimates as
+// the single-goroutine Collector — identical keys, order, and session
+// counts; means exact at 1 shard and within fp tolerance otherwise.
+func TestShardedCollectorEquivalence(t *testing.T) {
+	recs := genRecords(8000, 11)
+	window := 2 * time.Minute
+	now := recs[len(recs)-1].Timestamp
+
+	for _, policy := range []ExportPolicy{
+		{},
+		{MinGroupSessions: 50},
+	} {
+		single := NewCollector("appp-1", policy, window, 42)
+		for _, r := range recs {
+			single.Ingest(r)
+		}
+		wantSum := single.Summaries()
+		wantTraffic := single.TrafficEstimates(now)
+
+		for _, nsh := range []int{1, 2, 3, 8} {
+			t.Run(fmt.Sprintf("policy%v/shards=%d", policy.MinGroupSessions, nsh), func(t *testing.T) {
+				sc := NewShardedCollector("appp-1", policy, window, 42, nsh)
+				defer sc.Close()
+				for _, r := range recs {
+					sc.Ingest(r)
+				}
+				summariesAlmostEqual(t, sc.Summaries(), wantSum, nsh == 1)
+
+				gotTraffic := sc.TrafficEstimates(now)
+				if len(gotTraffic) != len(wantTraffic) {
+					t.Fatalf("traffic count = %d, want %d", len(gotTraffic), len(wantTraffic))
+				}
+				for i := range wantTraffic {
+					g, w := gotTraffic[i], wantTraffic[i]
+					if g.CDN != w.CDN || g.AppP != w.AppP || g.Sessions != w.Sessions {
+						t.Errorf("traffic[%d] = %+v, want %+v", i, g, w)
+					}
+					if relDiff(g.VolumeBps, w.VolumeBps) > 1e-9 {
+						t.Errorf("traffic[%d] VolumeBps = %v, want %v", i, g.VolumeBps, w.VolumeBps)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedCollectorBatchEquivalence: IngestBatch is equivalent to
+// one-by-one Ingest.
+func TestShardedCollectorBatchEquivalence(t *testing.T) {
+	recs := genRecords(4000, 5)
+	one := NewShardedCollector("appp-1", ExportPolicy{}, time.Minute, 9, 4)
+	defer one.Close()
+	for _, r := range recs {
+		one.Ingest(r)
+	}
+	batched := NewShardedCollector("appp-1", ExportPolicy{}, time.Minute, 9, 4)
+	defer batched.Close()
+	for i := 0; i < len(recs); i += 512 {
+		end := i + 512
+		if end > len(recs) {
+			end = len(recs)
+		}
+		batched.IngestBatch(recs[i:end])
+	}
+	if got, want := batched.Summaries(), one.Summaries(); !reflect.DeepEqual(got, want) {
+		t.Error("batched ingest summaries differ from per-record ingest")
+	}
+	if got, want := batched.Ingested(), one.Ingested(); got != want {
+		t.Errorf("Ingested = %d, want %d", got, want)
+	}
+}
+
+// TestShardedCollectorSummaryFor checks single-group lookups against the
+// full merged export.
+func TestShardedCollectorSummaryFor(t *testing.T) {
+	recs := genRecords(3000, 3)
+	sc := NewShardedCollector("appp-1", ExportPolicy{MinGroupSessions: 10}, time.Minute, 1, 4)
+	defer sc.Close()
+	for _, r := range recs {
+		sc.Ingest(r)
+	}
+	for _, want := range sc.Summaries() {
+		got, ok := sc.SummaryFor(want.Key)
+		if !ok {
+			t.Fatalf("SummaryFor(%+v) suppressed but present in Summaries", want.Key)
+		}
+		if got != want {
+			t.Errorf("SummaryFor(%+v) = %+v, want %+v", want.Key, got, want)
+		}
+	}
+	if _, ok := sc.SummaryFor(SummaryKey{ClientISP: "no-such"}); ok {
+		t.Error("SummaryFor of absent group reported ok")
+	}
+}
+
+// TestShardedCollectorNoiseDeterminism: with noise enabled, two identical
+// instances produce byte-identical query results — noise depends on
+// (seed, query index), not goroutine scheduling.
+func TestShardedCollectorNoiseDeterminism(t *testing.T) {
+	recs := genRecords(3000, 21)
+	policy := ExportPolicy{NoiseEpsilon: 0.5, MinGroupSessions: 5}
+	mk := func() *ShardedCollector {
+		sc := NewShardedCollector("appp-1", policy, time.Minute, 7, 4)
+		for _, r := range recs {
+			sc.Ingest(r)
+		}
+		return sc
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	now := recs[len(recs)-1].Timestamp
+	for q := 0; q < 3; q++ {
+		if got, want := a.Summaries(), b.Summaries(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: summaries not deterministic", q)
+		}
+		if got, want := a.TrafficEstimates(now), b.TrafficEstimates(now); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: traffic estimates not deterministic", q)
+		}
+	}
+	// Distinct query indices must draw distinct noise.
+	s1, s2 := a.Summaries(), a.Summaries()
+	if reflect.DeepEqual(s1, s2) {
+		t.Error("consecutive noisy queries returned identical noise draws")
+	}
+}
+
+// TestShardedCollectorConcurrent hammers concurrent producers and readers;
+// run under -race this is the data-race acceptance test.
+func TestShardedCollectorConcurrent(t *testing.T) {
+	const producers, perProducer = 4, 2000
+	sc := NewShardedCollector("appp-1", ExportPolicy{}, time.Minute, 1, 4)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			recs := genRecords(perProducer, int64(100+p))
+			for i, r := range recs {
+				if i%3 == 0 {
+					sc.IngestBatch(recs[i : i+1])
+				} else {
+					sc.Ingest(r)
+				}
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					sc.Summaries()
+					sc.TrafficEstimates(time.Minute)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	sc.Flush()
+	if got := sc.Ingested(); got != producers*perProducer {
+		t.Errorf("Ingested = %d, want %d", got, producers*perProducer)
+	}
+	total := 0.0
+	for _, s := range sc.Summaries() {
+		total += s.Sessions
+	}
+	if total != producers*perProducer {
+		t.Errorf("summed sessions = %v, want %d", total, producers*perProducer)
+	}
+
+	sc.Close()
+	sc.Close() // idempotent
+	// Queries remain valid after Close.
+	after := 0.0
+	for _, s := range sc.Summaries() {
+		after += s.Sessions
+	}
+	if after != total {
+		t.Errorf("post-Close sessions = %v, want %v", after, total)
+	}
+}
+
+func TestShardedCollectorZeroShardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("0 shards did not panic")
+		}
+	}()
+	NewShardedCollector("appp-1", ExportPolicy{}, time.Minute, 1, 0)
+}
+
+func TestShardOfStable(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16} {
+		for i := 0; i < 100; i++ {
+			id := fmt.Sprintf("sess-%d", i)
+			a, b := shardOf(id, n), shardOf(id, n)
+			if a != b {
+				t.Fatalf("shardOf(%q, %d) unstable: %d vs %d", id, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("shardOf(%q, %d) = %d out of range", id, n, a)
+			}
+		}
+	}
+}
+
+func BenchmarkCollectorIngest(b *testing.B) {
+	recs := genRecords(1<<14, 1)
+	c := NewCollector("appp-1", ExportPolicy{}, time.Minute, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Ingest(recs[i&(1<<14-1)])
+	}
+}
+
+func BenchmarkShardedCollectorIngest(b *testing.B) {
+	recs := genRecords(1<<14, 1)
+	for _, nsh := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", nsh), func(b *testing.B) {
+			sc := NewShardedCollector("appp-1", ExportPolicy{}, time.Minute, 1, nsh)
+			defer sc.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			const batch = 512
+			for i := 0; i < b.N; i += batch {
+				end := i + batch
+				if end > b.N {
+					end = b.N
+				}
+				lo := i & (1<<14 - 1)
+				hi := lo + (end - i)
+				if hi > 1<<14 {
+					hi = 1 << 14
+				}
+				sc.IngestBatch(recs[lo:hi])
+			}
+			b.StopTimer()
+			sc.Flush()
+		})
+	}
+}

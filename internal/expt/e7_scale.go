@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"runtime"
+	"sync"
 	"time"
 
 	"eona/internal/agg"
@@ -31,6 +33,27 @@ import (
 // the paper's "tens of millions per day" — is the reproducible claim. The
 // matching testing.B benchmarks live in bench_test.go.
 
+// E7Config parameterizes the scalability run.
+type E7Config struct {
+	// Records is the ingest volume (default 500k when 0).
+	Records int
+	// ShardCounts lists the ShardedCollector sizes to sweep for the
+	// cluster-mode rows (default 1, 2, 4, 8; nil uses the default, empty
+	// non-nil skips the sweep).
+	ShardCounts []int
+}
+
+// E7ShardPoint is one cluster-mode measurement: ingest throughput with the
+// sharded collector at a given shard count, each shard fed by its own
+// producer goroutine.
+type E7ShardPoint struct {
+	Shards int
+	// PerSec is IngestBatch records/second end-to-end (including drain).
+	PerSec float64
+	// Speedup is PerSec over the single-goroutine Collector's rate.
+	Speedup float64
+}
+
 // E7Result carries measured rates.
 type E7Result struct {
 	// CollectorPerSec is Collector.Ingest records/second.
@@ -55,6 +78,15 @@ type E7Result struct {
 	ChurnIncrementalPerSec float64
 	// ChurnSpeedup = incremental/full.
 	ChurnSpeedup float64
+	// ChurnAutoTunePerSec repeats the incremental run with
+	// AutoTuneCutoff deriving the cutoff instead of the fixed default.
+	ChurnAutoTunePerSec float64
+
+	// ShardPoints are the cluster-mode rows (one per swept shard count).
+	ShardPoints []E7ShardPoint
+	// Procs is runtime.GOMAXPROCS(0) at measurement time — shard speedups
+	// are bounded by it.
+	Procs int
 }
 
 // e7Records synthesizes a record stream across a realistic key space.
@@ -84,11 +116,22 @@ func e7Records(n int) []core.QoERecord {
 // RunE7 measures the pipeline. n controls the ingest volume (default 500k
 // when 0).
 func RunE7(n int) E7Result {
+	return RunE7Config(E7Config{Records: n})
+}
+
+// RunE7Config measures the pipeline with explicit knobs.
+func RunE7Config(cfg E7Config) E7Result {
+	n := cfg.Records
 	if n <= 0 {
 		n = 500_000
 	}
+	shardCounts := cfg.ShardCounts
+	if shardCounts == nil {
+		shardCounts = []int{1, 2, 4, 8}
+	}
 	recs := e7Records(n)
 	var res E7Result
+	res.Procs = runtime.GOMAXPROCS(0)
 
 	// Collector ingest.
 	col := core.NewCollector("vod", core.ExportPolicy{}, time.Minute, 1)
@@ -99,6 +142,16 @@ func RunE7(n int) E7Result {
 	el := time.Since(start).Seconds()
 	res.CollectorPerSec = float64(n) / el
 	res.ImpliedSessionsPerDay = res.CollectorPerSec * 86400
+
+	// Cluster mode: sharded collector ingest, one producer per shard.
+	for _, nsh := range shardCounts {
+		perSec := measureShardedIngest(recs, nsh)
+		res.ShardPoints = append(res.ShardPoints, E7ShardPoint{
+			Shards:  nsh,
+			PerSec:  perSec,
+			Speedup: perSec / res.CollectorPerSec,
+		})
+	}
 
 	// Count-min.
 	cm := agg.NewCountMinWithError(0.001, 0.001)
@@ -156,7 +209,7 @@ func RunE7(n int) E7Result {
 		churnMuts     = 6_000
 		churnCapacity = 50e6
 	)
-	churn := func(cutoff float64) float64 {
+	churn := func(cutoff float64, autoTune bool) float64 {
 		topo := netsim.NewTopology()
 		paths := make([]netsim.Path, churnRails)
 		for r := 0; r < churnRails; r++ {
@@ -170,6 +223,7 @@ func RunE7(n int) E7Result {
 		}
 		nw := netsim.NewNetwork(topo)
 		nw.IncrementalCutoff = cutoff
+		nw.AutoTuneCutoff = autoTune
 		flows := make([]*netsim.Flow, 0, churnRails*churnFlows)
 		nw.Batch(func() {
 			for r := 0; r < churnRails; r++ {
@@ -196,12 +250,41 @@ func RunE7(n int) E7Result {
 		}
 		return float64(churnMuts) / time.Since(t0).Seconds()
 	}
-	res.ChurnFullPerSec = churn(0) // cutoff 0 forces full recomputation
-	res.ChurnIncrementalPerSec = churn(netsim.DefaultIncrementalCutoff)
+	res.ChurnFullPerSec = churn(0, false) // cutoff 0 forces full recomputation
+	res.ChurnIncrementalPerSec = churn(netsim.DefaultIncrementalCutoff, false)
+	res.ChurnAutoTunePerSec = churn(netsim.DefaultIncrementalCutoff, true)
 	if res.ChurnFullPerSec > 0 {
 		res.ChurnSpeedup = res.ChurnIncrementalPerSec / res.ChurnFullPerSec
 	}
 	return res
+}
+
+// measureShardedIngest times end-to-end sharded ingest of recs: nsh shards,
+// one producer goroutine per shard pushing 512-record batches, closed and
+// drained before the clock stops.
+func measureShardedIngest(recs []core.QoERecord, nsh int) float64 {
+	sc := core.NewShardedCollector("vod", core.ExportPolicy{}, time.Minute, 1, nsh)
+	chunk := (len(recs) + nsh - 1) / nsh
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < nsh; p++ {
+		lo := p * chunk
+		hi := min(lo+chunk, len(recs))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(part []core.QoERecord) {
+			defer wg.Done()
+			const batch = 512
+			for i := 0; i < len(part); i += batch {
+				sc.IngestBatch(part[i:min(i+batch, len(part))])
+			}
+		}(recs[lo:hi])
+	}
+	wg.Wait()
+	sc.Close()
+	return float64(len(recs)) / time.Since(start).Seconds()
 }
 
 // Table renders the measurements.
@@ -213,6 +296,11 @@ func (r E7Result) Table() *Table {
 	t.AddRow("Collector.Ingest (full rollup)",
 		fmt.Sprintf("%.2fM rec/s", r.CollectorPerSec/1e6),
 		fmt.Sprintf("≈ %.1fB sessions/day", r.ImpliedSessionsPerDay/1e9))
+	for _, p := range r.ShardPoints {
+		t.AddRow(fmt.Sprintf("cluster ingest (%d shards)", p.Shards),
+			fmt.Sprintf("%.2fM rec/s", p.PerSec/1e6),
+			fmt.Sprintf("%.2f× vs single-goroutine", p.Speedup))
+	}
 	t.AddRow("count-min sketch add",
 		fmt.Sprintf("%.2fM ops/s", r.SketchAddPerSec/1e6),
 		fmt.Sprintf("%.1f MiB at ε=δ=0.1%%", float64(r.SketchMemoryBytes)/(1<<20)))
@@ -226,7 +314,14 @@ func (r E7Result) Table() *Table {
 	t.AddRow("allocator churn (incremental)",
 		fmt.Sprintf("%.1fk muts/s", r.ChurnIncrementalPerSec/1e3),
 		fmt.Sprintf("affected component only — %.0f× faster", r.ChurnSpeedup))
+	t.AddRow("allocator churn (auto-tuned cutoff)",
+		fmt.Sprintf("%.1fk muts/s", r.ChurnAutoTunePerSec/1e3),
+		"cutoff derived from observed component sizes")
 	t.Notes = append(t.Notes,
 		"paper: 'tens [of] millions of sessions each day' — one core covers that with orders of magnitude to spare")
+	if len(r.ShardPoints) > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("cluster rows measured at GOMAXPROCS=%d; shard speedup is bounded by available cores", r.Procs))
+	}
 	return t
 }

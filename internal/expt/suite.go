@@ -1,0 +1,67 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Experiment is one runnable entry of the E-suite.
+type Experiment struct {
+	// ID is the short name ("E7") used by eona-bench's -only filter.
+	ID string
+	// Slow marks the experiments eona-bench's -skip-slow excludes.
+	Slow bool
+	// Run executes the experiment and renders its table.
+	Run func() *Table
+}
+
+// Suite returns the full E1–E15 experiment list, each closure bound to the
+// given seed. Every experiment draws randomness from its own
+// rand.New(rand.NewSource(seed)) and simulates against private state, so
+// suite entries are independent and safe to run concurrently with
+// RunConcurrent. The caveat is wall-clock honesty, not correctness: E7's
+// throughput rows are timing measurements, and co-running experiments
+// steal cycles from them — run E7 alone (or with parallelism 1) when its
+// absolute numbers matter.
+func Suite(seed int64, e7 E7Config) []Experiment {
+	return []Experiment{
+		{ID: "E1", Slow: true, Run: func() *Table { return RunE1(seed).Table() }},
+		{ID: "E2", Run: func() *Table { return RunE2(seed).Table() }},
+		{ID: "E3", Run: func() *Table { return RunE3(seed).Table() }},
+		{ID: "E4", Slow: true, Run: func() *Table { return RunE4(seed).Table() }},
+		{ID: "E5", Run: func() *Table { return RunE5(seed).Table() }},
+		{ID: "E6", Run: func() *Table { return RunE6(seed).Table() }},
+		{ID: "E7", Slow: true, Run: func() *Table { return RunE7Config(e7).Table() }},
+		{ID: "E8", Run: func() *Table { return RunE8(seed).Table() }},
+		{ID: "E9", Run: func() *Table { return RunE9(seed).Table() }},
+		{ID: "E10", Run: func() *Table { return RunE10(seed).Table() }},
+		{ID: "E11", Run: func() *Table { return RunE11(seed).Table() }},
+		{ID: "E12", Run: func() *Table { return RunE12(seed).Table() }},
+		{ID: "E13", Run: func() *Table { return RunE13(seed).Table() }},
+		{ID: "E14", Run: func() *Table { return RunE14(seed).Table() }},
+		{ID: "E15", Run: func() *Table { return RunE15(seed).Table() }},
+	}
+}
+
+// RunConcurrent executes the experiments with at most parallelism workers
+// (GOMAXPROCS(0) when parallelism <= 0) and returns their tables in input
+// order. parallelism 1 reproduces the sequential runner exactly.
+func RunConcurrent(exps []Experiment, parallelism int) []*Table {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, parallelism)
+	out := make([]*Table, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = e.Run()
+		}(i, e)
+	}
+	wg.Wait()
+	return out
+}

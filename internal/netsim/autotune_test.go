@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// setupRails starts flowsPerRail greedy flows on each rail of a rails(r, l)
+// topology — the many-small-components regime.
+func setupRails(r, l, flowsPerRail int, auto bool) (*Network, []*Flow) {
+	topo, links := rails(r, l, 90)
+	n := NewNetwork(topo)
+	n.AutoTuneCutoff = auto
+	var flows []*Flow
+	n.Batch(func() {
+		for i := range links {
+			p := Path(links[i])
+			for k := 0; k < flowsPerRail; k++ {
+				flows = append(flows, n.StartFlow(p, math.Inf(1), ""))
+			}
+		}
+	})
+	return n, flows
+}
+
+// setupSkewed builds the skewed-component regime: one hub link carrying
+// bigFlows greedy flows (one large component) plus r rails of 3 flows each
+// (small satellite components). Churn targets the hub component, whose
+// size sits between the default cutoff and the whole network.
+func setupSkewed(bigFlows, r int, auto bool) (*Network, []*Flow) {
+	topo := NewTopology()
+	hub := topo.AddLink("hubA", "hubB", 1000, time.Millisecond, "")
+	var railPaths []Path
+	for i := 0; i < r; i++ {
+		from := NodeID(fmt.Sprintf("r%d-a", i))
+		to := NodeID(fmt.Sprintf("r%d-b", i))
+		railPaths = append(railPaths, Path{topo.AddLink(from, to, 90, time.Millisecond, "")})
+	}
+	n := NewNetwork(topo)
+	n.AutoTuneCutoff = auto
+	var big []*Flow
+	n.Batch(func() {
+		for k := 0; k < bigFlows; k++ {
+			big = append(big, n.StartFlow(Path{hub}, math.Inf(1), ""))
+		}
+		for _, p := range railPaths {
+			for k := 0; k < 3; k++ {
+				n.StartFlow(p, math.Inf(1), "")
+			}
+		}
+	})
+	return n, big
+}
+
+// churnDemands mutates demands of the given flows with a seeded rng —
+// byte-identical workload across runs.
+func churnDemands(n *Network, flows []*Flow, muts int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < muts; i++ {
+		f := flows[rng.Intn(len(flows))]
+		n.SetDemand(f, float64(1+rng.Intn(200)))
+	}
+}
+
+func ratesOf(flows []*Flow) []float64 {
+	out := make([]float64, len(flows))
+	for i, f := range flows {
+		out[i] = f.Rate
+	}
+	return out
+}
+
+// TestAutoTuneMatchesFixedOnRails: in the regime the hand-picked default
+// cutoff was tuned for (many small components), the auto-tuner does no more
+// allocator work than the fixed cutoff and produces byte-identical rates.
+func TestAutoTuneMatchesFixedOnRails(t *testing.T) {
+	fixed, fixedFlows := setupRails(16, 3, 4, false)
+	auto, autoFlows := setupRails(16, 3, 4, true)
+	const muts = 400
+	churnDemands(fixed, fixedFlows, muts, 7)
+	churnDemands(auto, autoFlows, muts, 7)
+
+	if auto.FlowsRecomputed > fixed.FlowsRecomputed {
+		t.Errorf("auto-tuned recomputed %d flows, fixed cutoff %d — auto must not do more work here",
+			auto.FlowsRecomputed, fixed.FlowsRecomputed)
+	}
+	fr, ar := ratesOf(fixedFlows), ratesOf(autoFlows)
+	for i := range fr {
+		if fr[i] != ar[i] {
+			t.Fatalf("flow %d rate diverged: fixed %v, auto %v", i, fr[i], ar[i])
+		}
+	}
+}
+
+// TestAutoTuneBeatsFixedOnSkewed: when churn concentrates in one component
+// holding ~70% of flows, the fixed 0.5 cutoff degrades every mutation to a
+// full pass while the auto-tuner raises the cutoff and keeps the incremental
+// path — strictly less allocator work, identical rates.
+func TestAutoTuneBeatsFixedOnSkewed(t *testing.T) {
+	fixed, fixedBig := setupSkewed(140, 20, false)
+	auto, autoBig := setupSkewed(140, 20, true)
+	const muts = 200
+	churnDemands(fixed, fixedBig, muts, 13)
+	churnDemands(auto, autoBig, muts, 13)
+
+	if auto.FlowsRecomputed >= fixed.FlowsRecomputed {
+		t.Errorf("auto-tuned recomputed %d flows, fixed cutoff %d — want strictly less on skewed churn",
+			auto.FlowsRecomputed, fixed.FlowsRecomputed)
+	}
+	if auto.IncrementalReallocations <= fixed.IncrementalReallocations {
+		t.Errorf("auto incremental passes = %d, fixed = %d — auto should stay incremental",
+			auto.IncrementalReallocations, fixed.IncrementalReallocations)
+	}
+	fr, ar := ratesOf(fixedBig), ratesOf(autoBig)
+	for i := range fr {
+		if fr[i] != ar[i] {
+			t.Fatalf("flow %d rate diverged: fixed %v, auto %v", i, fr[i], ar[i])
+		}
+	}
+}
+
+// TestAutoTuneCutoffBounds: the derived cutoff stays within
+// [autoTuneMin, autoTuneMax] whatever the observations.
+func TestAutoTuneCutoffBounds(t *testing.T) {
+	n, _ := setupSkewed(10, 2, true)
+	// Whole-network mutations push the observed fraction to 1.
+	for i := 0; i < 5; i++ {
+		n.SetMaxRate(1e8 + float64(i))
+	}
+	if n.IncrementalCutoff > autoTuneMax {
+		t.Errorf("cutoff %v above max %v", n.IncrementalCutoff, autoTuneMax)
+	}
+	// Long quiet decay with tiny components floors at autoTuneMin.
+	rails, flows := setupRails(32, 1, 2, true)
+	churnDemands(rails, flows, 500, 3)
+	if rails.IncrementalCutoff < autoTuneMin {
+		t.Errorf("cutoff %v below min %v", rails.IncrementalCutoff, autoTuneMin)
+	}
+	if rails.IncrementalCutoff > 2*autoTuneMin {
+		t.Errorf("cutoff %v did not decay toward min %v under tiny components",
+			rails.IncrementalCutoff, autoTuneMin)
+	}
+}
+
+func benchChurn(b *testing.B, setup func(auto bool) (*Network, []*Flow), auto bool) {
+	n, flows := setup(auto)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := flows[rng.Intn(len(flows))]
+		n.SetDemand(f, float64(1+rng.Intn(200)))
+	}
+	b.ReportMetric(float64(n.FlowsRecomputed)/float64(b.N), "flows-recomputed/op")
+}
+
+func BenchmarkChurnRailsFixed(b *testing.B) {
+	benchChurn(b, func(auto bool) (*Network, []*Flow) { return setupRails(16, 3, 4, auto) }, false)
+}
+
+func BenchmarkChurnRailsAuto(b *testing.B) {
+	benchChurn(b, func(auto bool) (*Network, []*Flow) { return setupRails(16, 3, 4, auto) }, true)
+}
+
+func BenchmarkChurnSkewedFixed(b *testing.B) {
+	benchChurn(b, func(auto bool) (*Network, []*Flow) { return setupSkewed(140, 20, auto) }, false)
+}
+
+func BenchmarkChurnSkewedAuto(b *testing.B) {
+	benchChurn(b, func(auto bool) (*Network, []*Flow) { return setupSkewed(140, 20, auto) }, true)
+}

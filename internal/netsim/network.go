@@ -76,6 +76,18 @@ type Network struct {
 	// recomputation to be full (useful for differential testing);
 	// NewNetwork sets DefaultIncrementalCutoff.
 	IncrementalCutoff float64
+	// AutoTuneCutoff, when set, re-derives IncrementalCutoff after every
+	// recomputation from the observed affected-flow fraction: the cutoff
+	// tracks a decayed maximum of recent component sizes, with margin, so
+	// a topology whose dirty components are consistently large (where the
+	// hand-picked default would thrash into full passes) keeps taking the
+	// cheaper incremental path, and a topology of many small components
+	// keeps a tight cutoff. Opt-in; rates are unaffected — only the
+	// incremental-vs-full decision moves.
+	AutoTuneCutoff bool
+	// tuneFrac is the decayed maximum affected-flow fraction observed by
+	// the auto-tuner.
+	tuneFrac float64
 
 	// Reallocations counts fair-share recomputation events (one per
 	// unbatched mutation or per batch commit), for benchmarks.
@@ -340,11 +352,40 @@ func (n *Network) clearDirty() {
 	}
 }
 
+// Auto-tuner constants: the cutoff chases a decayed maximum of observed
+// affected-flow fractions, with headroom, clamped to a sane band.
+const (
+	autoTuneDecay  = 0.97
+	autoTuneMargin = 1.15
+	autoTuneMin    = 0.05
+	autoTuneMax    = 0.90
+)
+
+// tuneObserve feeds one recomputation's affected-flow fraction to the
+// auto-tuner and re-derives IncrementalCutoff.
+func (n *Network) tuneObserve(frac float64) {
+	n.tuneFrac *= autoTuneDecay
+	if frac > n.tuneFrac {
+		n.tuneFrac = frac
+	}
+	c := n.tuneFrac * autoTuneMargin
+	if c < autoTuneMin {
+		c = autoTuneMin
+	}
+	if c > autoTuneMax {
+		c = autoTuneMax
+	}
+	n.IncrementalCutoff = c
+}
+
 // reallocate recomputes rates for the dirtied components, falling back to a
 // full pass when the affected set exceeds IncrementalCutoff of all flows.
 func (n *Network) reallocate() {
 	n.Reallocations++
 	if n.dirtyAll {
+		if n.AutoTuneCutoff {
+			n.tuneObserve(1)
+		}
 		n.fullRealloc()
 		n.clearDirty()
 		return
@@ -386,7 +427,10 @@ func (n *Network) reallocate() {
 		flows, links := n.expand(seed, visited)
 		allLinks = append(allLinks, links...)
 		affected += len(flows)
-		if affected > cutoff {
+		// Under auto-tuning, keep expanding so the tuner sees the true
+		// affected fraction; the full-vs-incremental decision is made
+		// afterwards against the freshly tuned cutoff.
+		if !n.AutoTuneCutoff && affected > cutoff {
 			full = true
 			break
 		}
@@ -395,6 +439,15 @@ func (n *Network) reallocate() {
 	}
 	for _, id := range allLinks {
 		n.scratchSeenL[id] = false
+	}
+	if n.AutoTuneCutoff {
+		frac := 0.0
+		if len(n.flows) > 0 {
+			frac = float64(affected) / float64(len(n.flows))
+		}
+		n.tuneObserve(frac)
+		cutoff = int(n.IncrementalCutoff * float64(len(n.flows)))
+		full = affected > cutoff
 	}
 	if full {
 		n.fullRealloc()

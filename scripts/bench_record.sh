@@ -1,0 +1,31 @@
+#!/bin/sh
+# Record the collector and allocator micro-benchmarks to a dated JSON file
+# (BENCH_<yyyy-mm-dd>.json in the repo root), so perf regressions are
+# diffable across commits. Usage: scripts/bench_record.sh [benchtime]
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+out="BENCH_$(date +%F).json"
+
+go test -run '^$' -bench 'Collector|Sharded|Realloc|Churn' -benchmem \
+	-benchtime "$benchtime" ./internal/core/... ./internal/netsim/... |
+	awk -v date="$(date +%F)" -v goversion="$(go env GOVERSION)" '
+	BEGIN {
+		printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, goversion
+		n = 0
+	}
+	/^Benchmark/ {
+		if (n++) printf ","
+		printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", $1, $2
+		m = 0
+		for (i = 3; i + 1 <= NF; i += 2) {
+			if (m++) printf ", "
+			printf "\"%s\": %s", $(i + 1), $i
+		}
+		printf "}}"
+	}
+	END { printf "\n  ]\n}\n" }
+	' >"$out"
+
+echo "wrote $out"

@@ -10,4 +10,7 @@ if [ -n "$unformatted" ]; then
 fi
 go build ./...
 go vet ./...
+# Fast-fail on the concurrency-heavy packages (sharded collector, merge
+# primitives) before the full sweep.
+go test -race ./internal/core/... ./internal/agg/...
 go test -race ./...
