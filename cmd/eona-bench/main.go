@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	eona-bench [-seed N] [-only E2,E8] [-skip-slow] [-shards 1,2,4,8] [-parallel N]
+//	eona-bench [-seed N] [-only E2,E8] [-skip-slow] [-shards 1,2,4,8] [-parallel N] [-v]
 //
 // -only selects a comma-separated subset by experiment ID. -skip-slow
 // omits the fleet simulations (E1, E4) and the wall-clock measurement
@@ -11,7 +11,8 @@
 // E7's cluster-mode rows. -parallel runs that many experiments
 // concurrently (0 = GOMAXPROCS); tables still print in suite order. E7's
 // wall-clock rows are only meaningful at -parallel 1, since co-running
-// experiments steal the cycles it is timing.
+// experiments steal the cycles it is timing. -v appends each table's
+// diagnostic lines (e.g. E7's allocator stats counters).
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	skipSlow := flag.Bool("skip-slow", false, "skip the slower experiments (E1, E4, E7)")
 	shards := flag.String("shards", "1,2,4,8", "comma-separated shard counts for E7's cluster-mode ingest rows")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print each table's diagnostic lines (allocator stats counters)")
 	flag.Parse()
 
 	counts, err := parseShards(*shards)
@@ -50,7 +52,11 @@ func main() {
 		os.Exit(2)
 	}
 	for _, tb := range eona.RunExperiments(selected, *parallel) {
-		fmt.Println(tb.String())
+		if *verbose {
+			fmt.Println(tb.VerboseString())
+		} else {
+			fmt.Println(tb.String())
+		}
 	}
 }
 

@@ -66,6 +66,7 @@ import (
 	"eona/internal/expt"
 	"eona/internal/faults"
 	"eona/internal/lookingglass"
+	"eona/internal/netsim"
 	"eona/internal/qoe"
 	"eona/internal/wire"
 )
@@ -327,6 +328,11 @@ type (
 	// ChaosResult is E15 / §5 (fault injection).
 	ChaosResult = expt.E15Result
 )
+
+// AllocatorStats is a snapshot of the fluid allocator's work counters
+// (reallocations, flows/components re-solved, registry rebuilds, coalesced
+// reactions). E7 embeds one per churn arm; eona-bench -v prints them.
+type AllocatorStats = netsim.Stats
 
 // Fault injection (E15 and downstream chaos studies): deterministic,
 // seeded fault plans applied to scenarios via ScenarioConfig.Faults, or to

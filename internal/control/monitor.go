@@ -50,6 +50,13 @@ type MonitorConfig struct {
 	SlowStartAfter time.Duration
 	// Cooldown suppresses re-triggering after a reaction. Default 10s.
 	Cooldown time.Duration
+	// Coalesce, when non-nil, defers this monitor's reactions to the end
+	// of the current simulated instant, where the Coalescer folds every
+	// reaction deferred there (by any monitor sharing it) into one
+	// allocator batch. Trigger counters and the cooldown are still
+	// updated at fire time. Nil keeps the immediate per-reaction
+	// behaviour.
+	Coalesce *Coalescer
 }
 
 func (c *MonitorConfig) applyDefaults() {
@@ -161,7 +168,12 @@ func (m *Monitor) fire(e *sim.Engine, r Reason) {
 	m.Triggers[r]++
 	m.mutedUntil = e.Now() + m.cfg.Cooldown
 	m.noProgressFor = 0
-	if m.react != nil {
-		m.react(m, r)
+	if m.react == nil {
+		return
 	}
+	if m.cfg.Coalesce != nil {
+		m.cfg.Coalesce.Defer(func() { m.react(m, r) })
+		return
+	}
+	m.react(m, r)
 }

@@ -128,6 +128,10 @@ func RunE1Arm(cfg E1Config) E1Result {
 	ispNet.AddPeering("P1", linkB, e1CDN1)
 	ispNet.AddPeering("P2", linkC, e1CDN2)
 
+	// All monitor reactions in one simulated instant — a flash crowd trips
+	// many sessions at once — commit as one end-of-tick reallocation.
+	coal := control.NewCoalescer(eng, net)
+
 	ladder := []float64{300e3, 750e3, 1.5e6, 3e6}
 	baseABR := player.ABR(player.BufferBased{Low: 2 * time.Second, High: 8 * time.Second})
 	model := qoe.DefaultModel()
@@ -243,7 +247,7 @@ func RunE1Arm(cfg E1Config) E1Result {
 			}
 			s.p.Start(conn, 500*time.Millisecond)
 			net.EndBatch()
-			control.NewMonitor(e, s.p, control.MonitorConfig{}, react(s))
+			control.NewMonitor(e, s.p, control.MonitorConfig{Coalesce: coal}, react(s))
 			active = append(active, s)
 			all = append(all, s)
 		})

@@ -88,6 +88,10 @@ func RunE4Arm(cfg E4Config) E4Result {
 	east := cdn.NewCluster("east", "cdnX-east", 5, 40, 300, 2500*time.Millisecond)
 	west := cdn.NewCluster("west", "cdnY-west", 5, 40, 300, 2500*time.Millisecond)
 
+	// A server failure trips many monitors at the same instant; coalesce
+	// their reactions into one end-of-tick reallocation.
+	coal := control.NewCoalescer(eng, net)
+
 	// CDN X has been serving this catalog all day: warm cache for the
 	// popular head. CDN Y is the standby with a cold cache.
 	catalog := 500
@@ -180,7 +184,7 @@ func RunE4Arm(cfg E4Config) E4Result {
 				BufferTarget: 8 * time.Second,
 			}, dur)
 			s.p.Start(connectVia(s, toX, a), 500*time.Millisecond+a.StartupPenalty)
-			control.NewMonitor(e, s.p, control.MonitorConfig{NoProgressAfter: 6 * time.Second}, react(s))
+			control.NewMonitor(e, s.p, control.MonitorConfig{NoProgressAfter: 6 * time.Second, Coalesce: coal}, react(s))
 			all = append(all, s)
 			_ = i
 		})

@@ -18,6 +18,9 @@ type Table struct {
 	Rows    [][]string
 	// Notes carry the paper-claim context printed under the table.
 	Notes []string
+	// Verbose carries diagnostic lines (e.g. allocator stats counters)
+	// that String omits; eona-bench -v renders them via VerboseString.
+	Verbose []string
 }
 
 // AddRow appends a formatted row; values are rendered with %v (floats with
@@ -76,6 +79,16 @@ func (t *Table) String() string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// VerboseString renders the table plus its Verbose diagnostic lines.
+func (t *Table) VerboseString() string {
+	var b strings.Builder
+	b.WriteString(t.String())
+	for _, v := range t.Verbose {
+		fmt.Fprintf(&b, "  -v %s\n", v)
 	}
 	return b.String()
 }

@@ -289,20 +289,24 @@ func (op mutOp) apply(n *Network, links [][]*Link, flows *[]*Flow) {
 	}
 }
 
-// TestDifferentialIncrementalVsFull drives three mirror networks over
+// TestDifferentialIncrementalVsFull drives four mirror networks over
 // randomized topologies with randomized mutation sequences:
 //
-//   - inc: the default network, reallocating incrementally per mutation
+//   - inc: the default network (component registry on), reallocating
+//     incrementally per mutation
+//   - bfs: UseRegistry = false, so dirty-set discovery BFS-es linkFlows
 //   - bat: the same mutations grouped into random-size batches
 //   - ref: IncrementalCutoff = 0, so every recomputation is a full pass
 //
-// and asserts, at every batch boundary, that all three agree on every flow
+// and asserts, at every batch boundary, that all four agree on every flow
 // rate and every link rate — exactly, bit for bit. This is the equivalence
 // invariant of DESIGN.md §"Batched + incremental allocator": a component's
 // fill is a deterministic function of its own flows and links, so
-// recomputing a subset of components can never drift from the full pass.
+// recomputing a subset of components can never drift from the full pass —
+// and the registry only changes how components are found, never their
+// contents (registry.go invariants).
 func TestDifferentialIncrementalVsFull(t *testing.T) {
-	var incrementalPasses uint64
+	var incrementalPasses, bfsPasses uint64
 	for trial := 0; trial < 30; trial++ {
 		rng := rand.New(rand.NewSource(int64(trial)))
 		nRails := 2 + rng.Intn(4)
@@ -324,11 +328,13 @@ func TestDifferentialIncrementalVsFull(t *testing.T) {
 			return NewNetwork(topo), links
 		}
 		inc, incLinks := build()
+		bfs, bfsLinks := build()
+		bfs.UseRegistry = false // per-commit BFS discovery
 		bat, batLinks := build()
 		ref, refLinks := build()
 		ref.IncrementalCutoff = 0 // every recomputation is full
 
-		var incFlows, batFlows, refFlows []*Flow
+		var incFlows, bfsFlows, batFlows, refFlows []*Flow
 
 		randOp := func() mutOp {
 			op := mutOp{kind: rng.Intn(6), rail: rng.Intn(nRails), val: float64(rng.Intn(100)) * 1e5}
@@ -370,6 +376,9 @@ func TestDifferentialIncrementalVsFull(t *testing.T) {
 			for _, op := range ops {
 				op.apply(inc, incLinks, &incFlows)
 			}
+			for _, op := range ops {
+				op.apply(bfs, bfsLinks, &bfsFlows)
+			}
 			bat.Batch(func() {
 				for _, op := range ops {
 					op.apply(bat, batLinks, &batFlows)
@@ -380,13 +389,17 @@ func TestDifferentialIncrementalVsFull(t *testing.T) {
 			}
 			ref.Reallocate()
 
-			if len(incFlows) != len(refFlows) || len(batFlows) != len(refFlows) {
+			if len(incFlows) != len(refFlows) || len(bfsFlows) != len(refFlows) || len(batFlows) != len(refFlows) {
 				t.Fatalf("trial %d step %d: mirror flow counts diverged", trial, step)
 			}
 			for i := range refFlows {
 				if incFlows[i].Rate != refFlows[i].Rate {
-					t.Fatalf("trial %d step %d flow %d: incremental rate %v != full rate %v",
+					t.Fatalf("trial %d step %d flow %d: registry rate %v != full rate %v",
 						trial, step, i, incFlows[i].Rate, refFlows[i].Rate)
+				}
+				if bfsFlows[i].Rate != refFlows[i].Rate {
+					t.Fatalf("trial %d step %d flow %d: BFS rate %v != full rate %v",
+						trial, step, i, bfsFlows[i].Rate, refFlows[i].Rate)
 				}
 				if batFlows[i].Rate != refFlows[i].Rate {
 					t.Fatalf("trial %d step %d flow %d: batched rate %v != full rate %v",
@@ -395,16 +408,20 @@ func TestDifferentialIncrementalVsFull(t *testing.T) {
 			}
 			for id := 0; id < inc.Topology().NumLinks(); id++ {
 				lid := LinkID(id)
-				if inc.LinkRate(lid) != ref.LinkRate(lid) || bat.LinkRate(lid) != ref.LinkRate(lid) {
-					t.Fatalf("trial %d step %d link %d: link rates diverged: inc=%v bat=%v full=%v",
-						trial, step, id, inc.LinkRate(lid), bat.LinkRate(lid), ref.LinkRate(lid))
+				if inc.LinkRate(lid) != ref.LinkRate(lid) || bfs.LinkRate(lid) != ref.LinkRate(lid) || bat.LinkRate(lid) != ref.LinkRate(lid) {
+					t.Fatalf("trial %d step %d link %d: link rates diverged: inc=%v bfs=%v bat=%v full=%v",
+						trial, step, id, inc.LinkRate(lid), bfs.LinkRate(lid), bat.LinkRate(lid), ref.LinkRate(lid))
 				}
 			}
 		}
 		incrementalPasses += inc.IncrementalReallocations
+		bfsPasses += bfs.IncrementalReallocations
 	}
 	if incrementalPasses == 0 {
-		t.Error("incremental path never exercised across any trial")
+		t.Error("registry incremental path never exercised across any trial")
+	}
+	if bfsPasses == 0 {
+		t.Error("BFS incremental path never exercised across any trial")
 	}
 }
 

@@ -88,6 +88,16 @@ type Network struct {
 	// tuneFrac is the decayed maximum affected-flow fraction observed by
 	// the auto-tuner.
 	tuneFrac float64
+	// UseRegistry selects the persistent component registry (registry.go)
+	// for dirty-set discovery instead of per-commit BFS over linkFlows.
+	// NewNetwork enables it — the two paths allocate bit-identical rates
+	// (proven by the differential tests), the registry just discovers the
+	// touched components in O(dirty set). Disable before starting any
+	// flows to get the BFS path (differential tests, benchmarks).
+	UseRegistry bool
+	// comp is the registry's flow→component membership; nil entries never
+	// occur for live flows while UseRegistry is set from the start.
+	comp map[FlowID]*component
 
 	// Reallocations counts fair-share recomputation events (one per
 	// unbatched mutation or per batch commit), for benchmarks.
@@ -98,6 +108,15 @@ type Network struct {
 	// FlowsRecomputed sums the component sizes passed through the
 	// progressive filler — the actual allocator work done.
 	FlowsRecomputed uint64
+	// ComponentsRecomputed counts individual component fills.
+	ComponentsRecomputed uint64
+	// RegistryRebuilds counts lazy re-splits of stale registry components;
+	// tests assert these stay rare under churn.
+	RegistryRebuilds uint64
+	// CoalescedReactions counts control-loop reactions folded into shared
+	// end-of-tick batches; incremented by control.Coalescer, read via
+	// Stats.
+	CoalescedReactions uint64
 
 	// Batching and dirty tracking.
 	batchDepth int
@@ -122,6 +141,8 @@ func NewNetwork(t *Topology) *Network {
 		linkFlows:         make([]map[FlowID]*Flow, t.NumLinks()),
 		MaxRate:           DefaultMaxRate,
 		IncrementalCutoff: DefaultIncrementalCutoff,
+		UseRegistry:       true,
+		comp:              make(map[FlowID]*component),
 		dirtyFlows:        make(map[FlowID]struct{}),
 		dirtyLinks:        make(map[LinkID]struct{}),
 		scratchAvail:      make([]float64, t.NumLinks()),
@@ -230,6 +251,9 @@ func (n *Network) StartFlow(path Path, demand float64, tag string) *Flow {
 	n.nextID++
 	n.flows[f.ID] = f
 	n.indexFlow(f)
+	if n.UseRegistry {
+		n.regAdd(f)
+	}
 	n.markFlowDirty(f)
 	n.commit()
 	return f
@@ -243,6 +267,9 @@ func (n *Network) StopFlow(f *Flow) {
 	}
 	delete(n.flows, f.ID)
 	n.unindexFlow(f)
+	if n.UseRegistry {
+		n.regRemove(f)
+	}
 	delete(n.dirtyFlows, f.ID)
 	f.Rate = 0
 	n.markPathDirty(f.Path)
@@ -291,9 +318,15 @@ func (n *Network) SetPath(f *Flow, path Path) {
 		return
 	}
 	n.unindexFlow(f)
+	if n.UseRegistry {
+		n.regRemove(f) // leaves the old component, possibly marking it stale
+	}
 	n.markPathDirty(f.Path) // the links the flow is leaving
 	f.Path = path
 	n.indexFlow(f)
+	if n.UseRegistry {
+		n.regAdd(f) // joins (or founds) the component of the new path
+	}
 	n.markFlowDirty(f)
 	n.commit()
 }
@@ -388,6 +421,10 @@ func (n *Network) reallocate() {
 		}
 		n.fullRealloc()
 		n.clearDirty()
+		return
+	}
+	if n.UseRegistry {
+		n.reallocateRegistry()
 		return
 	}
 
@@ -541,6 +578,7 @@ func (n *Network) fullRealloc() {
 // batch_test.go leans on.
 func (n *Network) fill(flows []*Flow, links []LinkID) {
 	n.FlowsRecomputed += uint64(len(flows))
+	n.ComponentsRecomputed++
 	avail, weight := n.scratchAvail, n.scratchWeight
 	for _, id := range links {
 		avail[id] = n.topo.links[id].Capacity

@@ -1,0 +1,314 @@
+package netsim
+
+import "sort"
+
+// Component registry: persistent flow→component membership.
+//
+// The incremental allocator needs, at every commit, the set of connected
+// components touched by the dirty flows and links. Without the registry that
+// set is re-discovered by BFS over linkFlows (expand), costing O(component)
+// map traffic per commit even when the membership did not change. The
+// registry keeps membership across commits, maintained on the only three
+// mutations that can change it — StartFlow, StopFlow and SetPath — so
+// dirty-set discovery becomes a map lookup per dirty flow plus one per dirty
+// link.
+//
+// Invariants (see DESIGN.md §5 for the full argument):
+//
+//   - Every live flow maps to exactly one component, and all flows sharing a
+//     link are in the same component. A component is therefore always a
+//     superset-or-equal of the true connected component of each member.
+//   - A component is exact unless marked stale. Additions never make a
+//     component stale (union of exact sets along shared links is exact);
+//     only a removal can, by deleting the flow that bridged two halves.
+//   - Stale components are re-split into exact ones lazily, at the first
+//     commit that touches them and before any rate is computed. fill()
+//     therefore always runs on exact components, which keeps the registry
+//     path bit-identical to the BFS path (filling a union of disjoint
+//     components would reorder float operations and drift).
+//
+// The structure is a weighted quick-union on direct component pointers
+// rather than a classic parent-pointer DSU: merging moves the smaller
+// member map into the larger (O(n log n) pointer moves amortized over a
+// component's lifetime), and deleting a flow is a plain map delete — no
+// tombstones to leak over millions of session arrivals and departures.
+type component struct {
+	flows map[FlowID]*Flow
+	// stale marks that a removal may have disconnected this component: it
+	// is still a superset of each member's true component, but must be
+	// re-split (resplit) before its sizes or memberships are trusted.
+	stale bool
+	// mark is scratch used by reallocateRegistry to dedupe the touched
+	// set without allocating; always false between commits.
+	mark bool
+}
+
+// regAdd registers a newly indexed flow: it starts as a singleton component
+// and unions with the component of every link it shares. Because all flows
+// on one link already share a component, inspecting a single co-resident
+// per link suffices.
+func (n *Network) regAdd(f *Flow) {
+	c := &component{flows: map[FlowID]*Flow{f.ID: f}}
+	n.comp[f.ID] = c
+	for _, l := range f.Path {
+		for gid := range n.linkFlows[l.ID] {
+			if gid == f.ID {
+				continue
+			}
+			c = n.regUnion(c, n.comp[gid])
+			break
+		}
+	}
+}
+
+// regUnion merges two components, moving the smaller member map into the
+// larger, and returns the survivor. Staleness is contagious: a superset of
+// a stale superset is still only a superset.
+func (n *Network) regUnion(a, b *component) *component {
+	if a == b {
+		return a
+	}
+	if len(a.flows) < len(b.flows) {
+		a, b = b, a
+	}
+	for id, f := range b.flows {
+		a.flows[id] = f
+		n.comp[id] = a
+	}
+	if b.stale {
+		a.stale = true
+	}
+	return a
+}
+
+// regRemove forgets a flow that has just been unindexed (StopFlow, or the
+// removal half of SetPath). Must run after unindexFlow and before f.Path is
+// replaced. The surviving component is marked stale only when the removal
+// could actually have disconnected it (removalMaySplit); empty components
+// are dropped entirely so long-running sims don't accumulate husks.
+func (n *Network) regRemove(f *Flow) {
+	c := n.comp[f.ID]
+	if c == nil {
+		return
+	}
+	delete(n.comp, f.ID)
+	delete(c.flows, f.ID)
+	if len(c.flows) == 0 || c.stale {
+		return
+	}
+	if n.removalMaySplit(f) {
+		c.stale = true
+	}
+}
+
+// removalMaySplit reports whether removing f can have disconnected its
+// component. Two cheap sufficient conditions prove it cannot: f's path has
+// at most one link still carrying flows (f bridged nothing), or the
+// smallest-ID survivor on the first still-populated link itself crosses
+// every still-populated link of f's path (that survivor bridges everything
+// f did). The smallest-ID scan — rather than "any map key" — keeps the
+// stale/exact decision, and hence RegistryRebuilds, deterministic across
+// runs. When neither condition holds the caller conservatively marks the
+// component stale; a false positive only costs one lazy re-split.
+func (n *Network) removalMaySplit(f *Flow) bool {
+	var populated []LinkID
+	for _, l := range f.Path {
+		if len(n.linkFlows[l.ID]) > 0 && !n.scratchSeenL[l.ID] {
+			n.scratchSeenL[l.ID] = true
+			populated = append(populated, l.ID)
+		}
+	}
+	for _, id := range populated {
+		n.scratchSeenL[id] = false
+	}
+	if len(populated) <= 1 {
+		return false
+	}
+	var cand *Flow
+	for _, g := range n.linkFlows[populated[0]] {
+		if cand == nil || g.ID < cand.ID {
+			cand = g
+		}
+	}
+	for _, l := range cand.Path {
+		n.scratchSeenL[l.ID] = true
+	}
+	covered := true
+	for _, id := range populated {
+		if !n.scratchSeenL[id] {
+			covered = false
+		}
+	}
+	for _, l := range cand.Path {
+		n.scratchSeenL[l.ID] = false
+	}
+	return !covered
+}
+
+// resplit rebuilds the exact components of a stale one by BFS over its
+// members only (a true component is a subset of its stale superset, so
+// expand never escapes it). Counted in RegistryRebuilds; registry tests
+// assert this stays rare under realistic churn.
+func (n *Network) resplit(c *component) {
+	n.RegistryRebuilds++
+	visited := make(map[FlowID]bool, len(c.flows))
+	for id, f := range c.flows {
+		if visited[id] {
+			continue
+		}
+		flows, links := n.expand(f, visited)
+		for _, lid := range links {
+			n.scratchSeenL[lid] = false
+		}
+		nc := &component{flows: make(map[FlowID]*Flow, len(flows))}
+		for _, g := range flows {
+			nc.flows[g.ID] = g
+			n.comp[g.ID] = nc
+		}
+	}
+}
+
+// compFlowsLinks flattens a (fresh) component into the sorted flow slice and
+// link set that fill() expects. scratchSeenL entries for the returned links
+// are left set; the caller resets them after filling.
+func (n *Network) compFlowsLinks(c *component) ([]*Flow, []LinkID) {
+	flows := make([]*Flow, 0, len(c.flows))
+	for _, f := range c.flows {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+	var links []LinkID
+	for _, f := range flows {
+		for _, l := range f.Path {
+			if !n.scratchSeenL[l.ID] {
+				n.scratchSeenL[l.ID] = true
+				links = append(links, l.ID)
+			}
+		}
+	}
+	return flows, links
+}
+
+// reallocateRegistry is the registry-backed commit path: dirty flows and
+// links map straight to their persistent components — re-splitting stale
+// ones first — so discovery costs O(dirty set + touched members) with no
+// BFS over linkFlows and no per-commit visited map.
+func (n *Network) reallocateRegistry() {
+	// Pass 1: re-split every stale component the dirty set touches.
+	// Splitting before collecting means a dirty flow in a shrunken
+	// component no longer drags the detached remainder into the
+	// recomputation.
+	for id := range n.dirtyFlows {
+		if c := n.comp[id]; c != nil && c.stale {
+			n.resplit(c)
+		}
+	}
+	for id := range n.dirtyLinks {
+		for fid := range n.linkFlows[id] {
+			if c := n.comp[fid]; c != nil && c.stale {
+				n.resplit(c)
+			}
+			break // all flows on a link share one component
+		}
+	}
+
+	// Pass 2: collect the touched components. Sizes come straight from
+	// the member maps — no expansion.
+	var comps []*component
+	affected := 0
+	collect := func(c *component) {
+		if c == nil || c.mark {
+			return
+		}
+		c.mark = true
+		comps = append(comps, c)
+		affected += len(c.flows)
+	}
+	for id := range n.dirtyFlows {
+		collect(n.comp[id])
+	}
+	for id := range n.dirtyLinks {
+		for fid := range n.linkFlows[id] {
+			collect(n.comp[fid])
+			break
+		}
+	}
+	for _, c := range comps {
+		c.mark = false
+	}
+
+	total := len(n.flows)
+	if n.AutoTuneCutoff {
+		// Per-component tuning (the registry makes sizes free): feed
+		// each touched component's own fraction rather than the batch
+		// sum, so a wide batch of small components doesn't inflate the
+		// cutoff the way one genuinely large component should. Sorted
+		// descending because the decayed maximum is order-sensitive and
+		// map iteration order is not deterministic.
+		fracs := make([]float64, len(comps))
+		for i, c := range comps {
+			if total > 0 {
+				fracs[i] = float64(len(c.flows)) / float64(total)
+			}
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(fracs)))
+		for _, fr := range fracs {
+			n.tuneObserve(fr)
+		}
+	}
+	cutoff := int(n.IncrementalCutoff * float64(total))
+	if affected > cutoff {
+		n.fullRealloc()
+		n.clearDirty()
+		return
+	}
+	n.IncrementalReallocations++
+	for _, c := range comps {
+		flows, links := n.compFlowsLinks(c)
+		n.fill(flows, links)
+		for _, id := range links {
+			n.scratchSeenL[id] = false
+		}
+	}
+	// A dirtied link that no longer carries any flow belongs to no
+	// component; zero its stale allocation.
+	for id := range n.dirtyLinks {
+		if len(n.linkFlows[id]) == 0 {
+			n.linkRate[id] = 0
+		}
+	}
+	n.clearDirty()
+}
+
+// Stats is a point-in-time snapshot of the allocator's work counters,
+// suitable for asserting incremental behaviour in tests and printing under
+// `eona-bench -v`. Deltas between snapshots around an operation give the
+// operation's cost.
+type Stats struct {
+	// Reallocations counts commit events (one per unbatched mutation or
+	// batch close); IncrementalReallocations is the subset that took the
+	// incremental path.
+	Reallocations            uint64
+	IncrementalReallocations uint64
+	// FlowsRecomputed sums component sizes passed through the progressive
+	// filler; ComponentsRecomputed counts the fills themselves.
+	FlowsRecomputed      uint64
+	ComponentsRecomputed uint64
+	// RegistryRebuilds counts lazy re-splits of stale components.
+	RegistryRebuilds uint64
+	// CoalescedReactions counts control-loop reactions folded into shared
+	// end-of-tick batches (incremented by control.Coalescer).
+	CoalescedReactions uint64
+}
+
+// Stats returns a snapshot of the allocator's work counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Reallocations:            n.Reallocations,
+		IncrementalReallocations: n.IncrementalReallocations,
+		FlowsRecomputed:          n.FlowsRecomputed,
+		ComponentsRecomputed:     n.ComponentsRecomputed,
+		RegistryRebuilds:         n.RegistryRebuilds,
+		CoalescedReactions:       n.CoalescedReactions,
+	}
+}

@@ -1,0 +1,433 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// --- Registry ≡ BFS differential on the existing topology fixtures --------
+
+// runRegistryDifferential drives two mirror networks — the default
+// registry-backed one and a UseRegistry=false BFS one — through an identical
+// randomized mutation sequence over the fixture's path set, asserting after
+// every mutation that every flow rate and every link rate agrees exactly,
+// bit for bit.
+func runRegistryDifferential(t *testing.T, seed int64, build func() (*Network, []Path)) uint64 {
+	t.Helper()
+	reg, regPaths := build()
+	bfs, bfsPaths := build()
+	bfs.UseRegistry = false
+	if len(regPaths) != len(bfsPaths) {
+		t.Fatal("fixture builders diverged")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pair struct{ r, b *Flow }
+	var flows []pair
+	for step := 0; step < 400; step++ {
+		op := rng.Intn(5)
+		if len(flows) == 0 {
+			op = 0
+		}
+		pi := rng.Intn(len(regPaths))
+		val := float64(1+rng.Intn(300)) * 1e0
+		if rng.Intn(5) == 0 {
+			val = math.Inf(1)
+		}
+		switch op {
+		case 0:
+			flows = append(flows, pair{
+				r: reg.StartFlow(regPaths[pi], val, ""),
+				b: bfs.StartFlow(bfsPaths[pi], val, ""),
+			})
+		case 1:
+			fi := rng.Intn(len(flows))
+			reg.StopFlow(flows[fi].r)
+			bfs.StopFlow(flows[fi].b)
+		case 2:
+			fi := rng.Intn(len(flows))
+			reg.SetDemand(flows[fi].r, val)
+			bfs.SetDemand(flows[fi].b, val)
+		case 3:
+			fi := rng.Intn(len(flows))
+			w := float64(1 + rng.Intn(4))
+			reg.SetWeight(flows[fi].r, w)
+			bfs.SetWeight(flows[fi].b, w)
+		case 4:
+			fi := rng.Intn(len(flows))
+			reg.SetPath(flows[fi].r, regPaths[pi])
+			bfs.SetPath(flows[fi].b, bfsPaths[pi])
+		}
+		for i, p := range flows {
+			if p.r.Rate != p.b.Rate {
+				t.Fatalf("step %d flow %d: registry rate %v != BFS rate %v", step, i, p.r.Rate, p.b.Rate)
+			}
+		}
+		for id := 0; id < reg.Topology().NumLinks(); id++ {
+			if reg.LinkRate(LinkID(id)) != bfs.LinkRate(LinkID(id)) {
+				t.Fatalf("step %d link %d: registry %v != BFS %v", step, id,
+					reg.LinkRate(LinkID(id)), bfs.LinkRate(LinkID(id)))
+			}
+		}
+	}
+	return reg.IncrementalReallocations
+}
+
+func TestRegistryDifferentialOnFixtures(t *testing.T) {
+	fixtures := map[string]func() (*Network, []Path){
+		"line": func() (*Network, []Path) {
+			topo, p := line(100)
+			return NewNetwork(topo), []Path{p}
+		},
+		"rails": func() (*Network, []Path) {
+			topo, links := rails(4, 3, 90)
+			n := NewNetwork(topo)
+			var ps []Path
+			for i := range links {
+				ps = append(ps,
+					Path(links[i]),
+					Path{links[i][0]},
+					Path{links[i][1], links[i][2]})
+			}
+			return n, ps
+		},
+		"e1": func() (*Network, []Path) {
+			n, p1, p2 := e1SetupTopology()
+			return n, []Path{p1, p2}
+		},
+		"skewed": func() (*Network, []Path) {
+			topo := NewTopology()
+			hub := topo.AddLink("hubA", "hubB", 1000, time.Millisecond, "")
+			ps := []Path{{hub}}
+			for i := 0; i < 4; i++ {
+				from := NodeID(rune('a' + i))
+				to := NodeID(rune('A' + i))
+				ps = append(ps, Path{topo.AddLink(from, to, 90, time.Millisecond, "")})
+			}
+			return NewNetwork(topo), ps
+		},
+	}
+	// Single-component fixtures (line, e1 under heavy sharing) legitimately
+	// never take the incremental path; assert it was exercised somewhere
+	// across the fixture set rather than per fixture.
+	var incremental uint64
+	for name, build := range fixtures {
+		build := build
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 5; seed++ {
+				incremental += runRegistryDifferential(t, seed, build)
+			}
+		})
+	}
+	if incremental == 0 {
+		t.Error("registry incremental path never exercised across any fixture")
+	}
+}
+
+// --- Registry invalidation under nested batches ----------------------------
+
+// SetPath inside a nested batch moves flows between components; the commit
+// at the outermost EndBatch must see coherent membership and cost exactly
+// one reallocation.
+func TestRegistrySetPathInsideNestedBatch(t *testing.T) {
+	build := func() (*Network, [][]*Link, []*Flow) {
+		topo, links := rails(3, 2, 90)
+		n := NewNetwork(topo)
+		var flows []*Flow
+		n.Batch(func() {
+			for i := range links {
+				for k := 0; k < 3; k++ {
+					flows = append(flows, n.StartFlow(Path(links[i]), math.Inf(1), ""))
+				}
+			}
+		})
+		return n, links, flows
+	}
+	mutate := func(n *Network, links [][]*Link, flows []*Flow) {
+		n.Batch(func() {
+			n.SetDemand(flows[0], 5)
+			n.Batch(func() {
+				n.SetPath(flows[1], Path(links[1]))    // rail 0 → rail 1
+				n.SetPath(flows[4], Path{links[2][1]}) // rail 1 → rail 2 suffix
+				n.StopFlow(flows[2])
+			})
+			n.StartFlow(Path{links[0][0]}, 40, "")
+		})
+	}
+
+	n, links, flows := build()
+	before := n.Reallocations
+	mutate(n, links, flows)
+	if got := n.Reallocations - before; got != 1 {
+		t.Errorf("nested batch cost %d reallocations, want 1", got)
+	}
+
+	ref, refLinks, refFlows := build()
+	ref.IncrementalCutoff = 0
+	mutate(ref, refLinks, refFlows)
+	ref.Reallocate()
+	for i := range flows {
+		if flows[i].Rate != refFlows[i].Rate {
+			t.Errorf("flow %d: rate %v != reference %v", i, flows[i].Rate, refFlows[i].Rate)
+		}
+	}
+}
+
+// Stopping and restarting flows on the same path must keep membership
+// coherent without ever re-splitting: the surviving flows still cover the
+// whole path, which the cheap removal check proves.
+func TestRegistryStopThenRestart(t *testing.T) {
+	topo, links := rails(2, 2, 90)
+	n := NewNetwork(topo)
+	var flows []*Flow
+	n.Batch(func() {
+		for i := range links {
+			for k := 0; k < 4; k++ {
+				flows = append(flows, n.StartFlow(Path(links[i]), math.Inf(1), ""))
+			}
+		}
+	})
+	for round := 0; round < 10; round++ {
+		idx := round % len(flows)
+		old := flows[idx]
+		n.Batch(func() {
+			n.StopFlow(old)
+			flows[idx] = n.StartFlow(old.Path, math.Inf(1), "")
+		})
+	}
+	if n.RegistryRebuilds != 0 {
+		t.Errorf("identical-path stop/restart churn caused %d rebuilds, want 0", n.RegistryRebuilds)
+	}
+	// All four flows per rail share the 90-capacity rail equally.
+	for i, f := range flows {
+		if !almostEq(f.Rate, 22.5) {
+			t.Errorf("flow %d rate = %v, want 22.5", i, f.Rate)
+		}
+	}
+}
+
+// When the last flows stop, their components must be dropped entirely —
+// long-running sims must not accumulate empty component husks.
+func TestRegistryEmptyComponentCleanup(t *testing.T) {
+	topo, links := rails(3, 2, 90)
+	n := NewNetwork(topo)
+	var flows []*Flow
+	n.Batch(func() {
+		for i := range links {
+			for k := 0; k < 2; k++ {
+				flows = append(flows, n.StartFlow(Path(links[i]), 30, ""))
+			}
+		}
+	})
+	if len(n.comp) != len(flows) {
+		t.Fatalf("registry tracks %d flows, want %d", len(n.comp), len(flows))
+	}
+	n.Batch(func() {
+		for _, f := range flows {
+			n.StopFlow(f)
+		}
+	})
+	if len(n.comp) != 0 {
+		t.Errorf("registry still tracks %d flows after all stopped", len(n.comp))
+	}
+	for id := 0; id < topo.NumLinks(); id++ {
+		if n.LinkRate(LinkID(id)) != 0 {
+			t.Errorf("link %d rate = %v after all flows stopped", id, n.LinkRate(LinkID(id)))
+		}
+	}
+}
+
+// --- Lazy re-split ----------------------------------------------------------
+
+// Removing a bridge flow splits its component; the registry must detect the
+// possible split (one rebuild), produce exact components, and from then on
+// keep unrelated halves untouched.
+func TestRegistryBridgeRemovalSplits(t *testing.T) {
+	topo := NewTopology()
+	a := topo.AddLink("A", "B", 100, time.Millisecond, "")
+	b := topo.AddLink("B", "C", 200, time.Millisecond, "")
+	n := NewNetwork(topo)
+	f1 := n.StartFlow(Path{a}, math.Inf(1), "")
+	f2 := n.StartFlow(Path{b}, math.Inf(1), "")
+	bridge := n.StartFlow(Path{a, b}, math.Inf(1), "")
+	if !almostEq(f1.Rate, 50) || !almostEq(bridge.Rate, 50) || !almostEq(f2.Rate, 150) {
+		t.Fatalf("pre-split rates = %v %v %v", f1.Rate, f2.Rate, bridge.Rate)
+	}
+	n.StopFlow(bridge)
+	if n.RegistryRebuilds != 1 {
+		t.Errorf("bridge removal caused %d rebuilds, want 1", n.RegistryRebuilds)
+	}
+	if !almostEq(f1.Rate, 100) || !almostEq(f2.Rate, 200) {
+		t.Errorf("post-split rates = %v %v, want 100 200", f1.Rate, f2.Rate)
+	}
+	// The halves are now separate components: churning one must not
+	// rewrite the other's bits.
+	before := f2.Rate
+	inc := n.IncrementalReallocations
+	n.SetDemand(f1, 7)
+	if n.IncrementalReallocations != inc+1 {
+		t.Error("post-split mutation did not take the incremental path")
+	}
+	if f2.Rate != before {
+		t.Errorf("churn in split-off half disturbed the other: %v -> %v", before, f2.Rate)
+	}
+	if !almostEq(f1.Rate, 7) {
+		t.Errorf("f1 rate = %v, want 7", f1.Rate)
+	}
+}
+
+// A removal whose surviving co-flows provably keep the component connected
+// (the cover check) must not rebuild at all.
+func TestRegistryNoRebuildWhenCovered(t *testing.T) {
+	topo, links := rails(1, 3, 90)
+	n := NewNetwork(topo)
+	full := Path(links[0])
+	cover := n.StartFlow(full, math.Inf(1), "") // spans every link
+	mid := n.StartFlow(Path{links[0][1]}, math.Inf(1), "")
+	span := n.StartFlow(full, math.Inf(1), "")
+	n.StopFlow(span) // cover still spans all populated links: no split possible
+	if n.RegistryRebuilds != 0 {
+		t.Errorf("covered removal caused %d rebuilds, want 0", n.RegistryRebuilds)
+	}
+	if !almostEq(cover.Rate, 45) || !almostEq(mid.Rate, 45) {
+		t.Errorf("rates = %v %v, want 45 45", cover.Rate, mid.Rate)
+	}
+}
+
+// --- Per-component auto-tuning ---------------------------------------------
+
+// A wide batch touching many small components must not inflate the
+// auto-tuned cutoff the way one genuinely large component should: the
+// registry feeds per-component fractions, the BFS path can only feed the
+// batch sum.
+func TestRegistryAutoTunePerComponent(t *testing.T) {
+	build := func(useRegistry bool) (*Network, []*Flow) {
+		topo, links := rails(10, 1, 90)
+		n := NewNetwork(topo)
+		n.UseRegistry = useRegistry
+		n.AutoTuneCutoff = true
+		var flows []*Flow
+		n.Batch(func() {
+			for i := range links {
+				for k := 0; k < 4; k++ {
+					flows = append(flows, n.StartFlow(Path(links[i]), math.Inf(1), ""))
+				}
+			}
+		})
+		return n, flows
+	}
+	reg, regFlows := build(true)
+	bfs, bfsFlows := build(false)
+	// One flow in each of 8 rails: 8 components × 4 flows = 80% of all
+	// flows in one batch, but no single component above 10%.
+	churn := func(n *Network, flows []*Flow, val float64) {
+		n.Batch(func() {
+			for rail := 0; rail < 8; rail++ {
+				n.SetDemand(flows[rail*4], val)
+			}
+		})
+	}
+	for i := 0; i < 5; i++ {
+		churn(reg, regFlows, float64(10+i))
+		churn(bfs, bfsFlows, float64(10+i))
+	}
+	if reg.IncrementalCutoff >= bfs.IncrementalCutoff {
+		t.Errorf("per-component cutoff %v not tighter than batch-sum cutoff %v",
+			reg.IncrementalCutoff, bfs.IncrementalCutoff)
+	}
+	if reg.IncrementalCutoff > 0.2 {
+		t.Errorf("per-component cutoff %v, want ≤ 0.2 with no component above 10%%", reg.IncrementalCutoff)
+	}
+	for i := range regFlows {
+		if regFlows[i].Rate != bfsFlows[i].Rate {
+			t.Fatalf("flow %d: registry rate %v != BFS rate %v", i, regFlows[i].Rate, bfsFlows[i].Rate)
+		}
+	}
+}
+
+// --- Stats snapshot ---------------------------------------------------------
+
+func TestStatsSnapshot(t *testing.T) {
+	topo, links := rails(2, 2, 90)
+	n := NewNetwork(topo)
+	f := n.StartFlow(Path(links[0]), math.Inf(1), "")
+	n.StartFlow(Path(links[1]), math.Inf(1), "")
+	n.SetDemand(f, 30)
+	st := n.Stats()
+	if st.Reallocations != n.Reallocations || st.IncrementalReallocations != n.IncrementalReallocations ||
+		st.FlowsRecomputed != n.FlowsRecomputed || st.ComponentsRecomputed != n.ComponentsRecomputed ||
+		st.RegistryRebuilds != n.RegistryRebuilds || st.CoalescedReactions != n.CoalescedReactions {
+		t.Errorf("snapshot %+v diverges from counters", st)
+	}
+	if st.Reallocations != 3 {
+		t.Errorf("Reallocations = %d, want 3", st.Reallocations)
+	}
+	if st.FlowsRecomputed == 0 || st.ComponentsRecomputed == 0 {
+		t.Error("work counters stayed zero")
+	}
+	if st.CoalescedReactions != 0 {
+		t.Error("CoalescedReactions nonzero without a coalescer")
+	}
+}
+
+// --- Benchmarks -------------------------------------------------------------
+
+// BenchmarkChurnDiscovery measures single-mutation commits on the 64×3-rail
+// topology (512 flows in 64 components): registry vs BFS dirty-set
+// discovery. The fill work is identical — one 8-flow component per op — so
+// the delta is pure discovery cost.
+func BenchmarkChurnDiscovery(b *testing.B) {
+	run := func(b *testing.B, useRegistry bool) {
+		topo, links := rails(64, 3, 1e8)
+		n := NewNetwork(topo)
+		n.UseRegistry = useRegistry
+		var flows []*Flow
+		n.Batch(func() {
+			for i := range links {
+				for k := 0; k < 8; k++ {
+					flows = append(flows, n.StartFlow(Path(links[i]), 1e6*float64(1+k), ""))
+				}
+			}
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.SetDemand(flows[i%len(flows)], 1e6*float64(1+(i+i/len(flows))%16))
+		}
+		b.ReportMetric(float64(n.FlowsRecomputed)/float64(b.N), "flows-recomputed/op")
+	}
+	b.Run("registry", func(b *testing.B) { run(b, true) })
+	b.Run("bfs", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkChurnLifecycle exercises the registry's maintenance path:
+// stop+restart of a flow per op (the session-arrival/departure shape), where
+// the registry must remove and re-union membership while proving no split.
+func BenchmarkChurnLifecycle(b *testing.B) {
+	run := func(b *testing.B, useRegistry bool) {
+		topo, links := rails(64, 3, 1e8)
+		n := NewNetwork(topo)
+		n.UseRegistry = useRegistry
+		var flows []*Flow
+		n.Batch(func() {
+			for i := range links {
+				for k := 0; k < 8; k++ {
+					flows = append(flows, n.StartFlow(Path(links[i]), 1e6*float64(1+k), ""))
+				}
+			}
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx := i % len(flows)
+			old := flows[idx]
+			n.Batch(func() {
+				n.StopFlow(old)
+				flows[idx] = n.StartFlow(old.Path, old.Demand, "")
+			})
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(n.RegistryRebuilds)/float64(b.N), "rebuilds/op")
+	}
+	b.Run("registry", func(b *testing.B) { run(b, true) })
+	b.Run("bfs", func(b *testing.B) { run(b, false) })
+}

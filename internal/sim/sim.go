@@ -75,6 +75,7 @@ type Engine struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	tickEnd []func(*Engine)
 
 	// Processed counts events that have fired, for diagnostics and as a
 	// runaway guard in tests.
@@ -166,15 +167,50 @@ func (e *Engine) Every(period time.Duration, fn func(*Engine) bool) (stop func()
 	return func() { stopped = true }
 }
 
-// Stop halts the run loop after the current event completes.
+// Stop halts the run loop after the current event completes. Pending
+// end-of-tick callbacks are not flushed; they carry over to the next Run.
 func (e *Engine) Stop() { e.stopped = true }
+
+// OnTickEnd registers fn to run once every already-queued event at the
+// current instant has fired — i.e. just before virtual time would next
+// advance (or the run loop return). Callbacks run in registration order and
+// may schedule events; events they add at the current instant fire before
+// time advances and may trigger a further round of tick-end callbacks.
+//
+// The hook is one-shot: a callback that wants to run at the end of a later
+// tick registers itself again. control.Coalescer uses it to fold all
+// monitor reactions of one simulated instant into a single allocator batch.
+func (e *Engine) OnTickEnd(fn func(*Engine)) {
+	e.tickEnd = append(e.tickEnd, fn)
+}
+
+// flushTickEnd runs and clears the registered tick-end callbacks. Callbacks
+// registered while flushing land in the next flush (same instant if the
+// clock has not advanced by then).
+func (e *Engine) flushTickEnd() {
+	fns := e.tickEnd
+	e.tickEnd = nil
+	for _, fn := range fns {
+		fn(e)
+	}
+}
 
 // Run processes events until the queue is empty, Stop is called, or the
 // clock would pass horizon (events at exactly horizon still fire). It
 // returns the virtual time at which processing stopped.
 func (e *Engine) Run(horizon Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for !e.stopped {
+		// Tick boundary: no queued event remains at the current
+		// instant, so flush end-of-tick callbacks before the clock can
+		// advance (or the loop exit).
+		if len(e.tickEnd) > 0 && (len(e.queue) == 0 || e.queue[0].at > e.now) {
+			e.flushTickEnd()
+			continue
+		}
+		if len(e.queue) == 0 {
+			break
+		}
 		next := e.queue[0]
 		if next.at > horizon {
 			break

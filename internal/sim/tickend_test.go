@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The tick-end hook fires after every already-queued event at the current
+// instant, before the clock advances to the next event.
+func TestOnTickEndRunsAfterSameInstantEvents(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	for i := 0; i < 3; i++ {
+		e.Schedule(5*time.Second, func(en *Engine) {
+			got = append(got, "event")
+			en.OnTickEnd(func(*Engine) { got = append(got, "tick-end") })
+		})
+	}
+	e.Schedule(6*time.Second, func(*Engine) { got = append(got, "later") })
+	e.RunUntilIdle()
+	want := []string{"event", "event", "event", "tick-end", "tick-end", "tick-end", "later"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// The hook also flushes when the queue drains entirely (no later event to
+// advance toward) and when the next event is beyond the horizon.
+func TestOnTickEndFlushesAtRunExit(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(time.Second, func(en *Engine) {
+		en.OnTickEnd(func(*Engine) { ran++ })
+	})
+	e.RunUntilIdle()
+	if ran != 1 {
+		t.Fatalf("queue-drain flush: ran = %d, want 1", ran)
+	}
+
+	e2 := NewEngine(1)
+	ran2 := 0
+	var at Time
+	e2.Schedule(time.Second, func(en *Engine) {
+		en.OnTickEnd(func(en *Engine) { ran2++; at = en.Now() })
+	})
+	e2.Schedule(time.Hour, func(*Engine) {})
+	e2.Run(2 * time.Second)
+	if ran2 != 1 {
+		t.Fatalf("horizon flush: ran = %d, want 1", ran2)
+	}
+	if at != time.Second {
+		t.Fatalf("horizon flush ran at %v, want 1s", at)
+	}
+}
+
+// A tick-end callback may schedule events at the current instant; they fire
+// before time advances, and may register a further round of callbacks for
+// the same instant.
+func TestOnTickEndCallbackMaySchedule(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.Schedule(time.Second, func(en *Engine) {
+		got = append(got, "event")
+		en.OnTickEnd(func(en *Engine) {
+			got = append(got, "flush1")
+			en.Schedule(0, func(en *Engine) {
+				got = append(got, "same-instant")
+				en.OnTickEnd(func(*Engine) { got = append(got, "flush2") })
+			})
+		})
+	})
+	e.Schedule(2*time.Second, func(*Engine) { got = append(got, "later") })
+	e.RunUntilIdle()
+	want := []string{"event", "flush1", "same-instant", "flush2", "later"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// The hook is one-shot: it does not fire again at later ticks unless
+// re-registered, and callbacks run in registration order.
+func TestOnTickEndOneShotAndOrdered(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(time.Second, func(en *Engine) {
+		en.OnTickEnd(func(*Engine) { got = append(got, 1) })
+		en.OnTickEnd(func(*Engine) { got = append(got, 2) })
+	})
+	e.Schedule(5*time.Second, func(*Engine) {})
+	e.RunUntilIdle()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+// A callback registered before Run flushes at the initial instant, even
+// when the first queued event is later.
+func TestOnTickEndBeforeRun(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = -1
+	fired := false
+	e.OnTickEnd(func(en *Engine) { at = en.Now() })
+	e.Schedule(3*time.Second, func(*Engine) { fired = true })
+	e.RunUntilIdle()
+	if at != 0 {
+		t.Fatalf("pre-run callback ran at %v, want 0", at)
+	}
+	if !fired {
+		t.Fatal("queued event did not fire")
+	}
+}

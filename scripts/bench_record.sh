@@ -8,11 +8,15 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-1s}"
 out="BENCH_$(date +%F).json"
 
-go test -run '^$' -bench 'Collector|Sharded|Realloc|Churn' -benchmem \
-	-benchtime "$benchtime" ./internal/core/... ./internal/netsim/... |
-	awk -v date="$(date +%F)" -v goversion="$(go env GOVERSION)" '
+cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+gomaxprocs="${GOMAXPROCS:-$cpus}"
+
+go test -run '^$' -bench 'Collector|Sharded|Realloc|Churn|Coalesc' -benchmem \
+	-benchtime "$benchtime" ./internal/core/... ./internal/netsim/... ./internal/control/... |
+	awk -v date="$(date +%F)" -v goversion="$(go env GOVERSION)" \
+		-v gomaxprocs="$gomaxprocs" -v cpus="$cpus" '
 	BEGIN {
-		printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, goversion
+		printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"cpus\": %s,\n  \"benchmarks\": [", date, goversion, gomaxprocs, cpus
 		n = 0
 	}
 	/^Benchmark/ {

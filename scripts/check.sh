@@ -11,6 +11,7 @@ fi
 go build ./...
 go vet ./...
 # Fast-fail on the concurrency-heavy packages (sharded collector, merge
-# primitives) before the full sweep.
-go test -race ./internal/core/... ./internal/agg/...
+# primitives) and the allocator/control-loop packages (component registry,
+# reaction coalescing) before the full sweep.
+go test -race ./internal/core/... ./internal/agg/... ./internal/netsim/... ./internal/control/...
 go test -race ./...
