@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	eona-bench [-seed N] [-only E2,E8] [-skip-slow] [-shards 1,2,4,8] [-parallel N] [-v]
+//	eona-bench [-seed N] [-only E2,E8] [-list] [-skip-slow] [-shards 1,2,4,8] [-drivers 1,2,4] [-parallel N] [-v]
 //
-// -only selects a comma-separated subset by experiment ID. -skip-slow
-// omits the fleet simulations (E1, E4) and the wall-clock measurement
-// (E7), which dominate runtime. -shards sets the shard counts swept by
-// E7's cluster-mode rows. -parallel runs that many experiments
-// concurrently (0 = GOMAXPROCS); tables still print in suite order. E7's
-// wall-clock rows are only meaningful at -parallel 1, since co-running
-// experiments steal the cycles it is timing. -v appends each table's
-// diagnostic lines (e.g. E7's allocator stats counters).
+// -only selects a comma-separated subset by experiment ID; -list prints
+// the registry (ID, slow flag, title) and exits. -skip-slow omits the
+// experiments the registry marks slow: the fleet simulations (E1, E4) and
+// the wall-clock measurement (E7), which dominate runtime. -shards sets
+// the shard counts swept by E7's cluster-mode ingest rows; -drivers sets
+// the driver counts swept by E7's shared-network churn rows (concurrent
+// goroutines pushing mutations through one owner). -parallel runs that
+// many experiments concurrently (0 = GOMAXPROCS); tables still print in
+// suite order. E7's wall-clock rows are only meaningful at -parallel 1,
+// since co-running experiments steal the cycles it is timing. -v appends
+// each table's diagnostic lines (e.g. E7's allocator stats counters).
 package main
 
 import (
@@ -28,23 +31,46 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (results are deterministic per seed)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E2,E8); empty = all")
-	skipSlow := flag.Bool("skip-slow", false, "skip the slower experiments (E1, E4, E7)")
+	list := flag.Bool("list", false, "print the experiment registry and exit")
+	skipSlow := flag.Bool("skip-slow", false, "skip the experiments marked slow in the registry (E1, E4, E7)")
 	shards := flag.String("shards", "1,2,4,8", "comma-separated shard counts for E7's cluster-mode ingest rows")
+	drivers := flag.String("drivers", "1,2,4", "comma-separated driver counts for E7's shared-network churn rows")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print each table's diagnostic lines (allocator stats counters)")
 	flag.Parse()
 
-	counts, err := parseShards(*shards)
+	if *list {
+		for _, d := range eona.Experiments() {
+			mark := " "
+			if d.Slow {
+				mark = "*"
+			}
+			fmt.Printf("%-4s %s %s\n", d.ID, mark, d.Title)
+		}
+		fmt.Println("\n* = slow (skipped by -skip-slow)")
+		return
+	}
+
+	shardCounts, err := parseCounts("-shards", *shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eona-bench: %v\n", err)
+		os.Exit(2)
+	}
+	driverCounts, err := parseCounts("-drivers", *drivers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "eona-bench: %v\n", err)
 		os.Exit(2)
 	}
 
+	cfg := eona.ExperimentConfig{
+		Seed: *seed,
+		E7:   eona.ScalabilityConfig{ShardCounts: shardCounts, DriverCounts: driverCounts},
+	}
 	want := selector(*only, *skipSlow)
 	var selected []eona.Experiment
-	for _, e := range eona.ExperimentSuite(*seed, eona.ScalabilityConfig{ShardCounts: counts}) {
-		if want(e.ID) {
-			selected = append(selected, e)
+	for _, d := range eona.Experiments() {
+		if want(d) {
+			selected = append(selected, d.Bind(cfg))
 		}
 	}
 	if len(selected) == 0 {
@@ -60,30 +86,26 @@ func main() {
 	}
 }
 
-// slowExperiments dominate wall time: the fleet simulations and the
-// wall-clock throughput measurement.
-var slowExperiments = map[string]bool{"E1": true, "E4": true, "E7": true}
-
 // selector builds the experiment filter from the -only and -skip-slow
-// flags.
-func selector(only string, skipSlow bool) func(id string) bool {
+// flags; the slow set comes from the registry, not a local list.
+func selector(only string, skipSlow bool) func(d eona.ExperimentDef) bool {
 	selected := map[string]bool{}
 	if only != "" {
 		for _, id := range strings.Split(only, ",") {
 			selected[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
-	return func(id string) bool {
+	return func(d eona.ExperimentDef) bool {
 		if len(selected) > 0 {
-			return selected[id]
+			return selected[d.ID]
 		}
-		return !(skipSlow && slowExperiments[id])
+		return !(skipSlow && d.Slow)
 	}
 }
 
-// parseShards parses the -shards list; every entry must be a positive
-// integer.
-func parseShards(s string) ([]int, error) {
+// parseCounts parses a comma-separated count list; every entry must be a
+// positive integer.
+func parseCounts(flagName, s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -92,12 +114,12 @@ func parseShards(s string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("invalid -shards entry %q (want positive integers)", part)
+			return nil, fmt.Errorf("invalid %s entry %q (want positive integers)", flagName, part)
 		}
 		out = append(out, n)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("-shards must name at least one shard count")
+		return nil, fmt.Errorf("%s must name at least one count", flagName)
 	}
 	return out, nil
 }

@@ -3,12 +3,25 @@ package main
 import (
 	"reflect"
 	"testing"
+
+	"eona"
 )
+
+// def returns the registry entry for an ID; the selector consumes
+// definitions now, so the tests exercise it through the real registry.
+func def(t *testing.T, id string) eona.ExperimentDef {
+	t.Helper()
+	d, ok := eona.LookupExperiment(id)
+	if !ok {
+		t.Fatalf("%s not in registry", id)
+	}
+	return d
+}
 
 func TestSelectorAll(t *testing.T) {
 	want := selector("", false)
 	for _, id := range []string{"E1", "E2", "E7", "E14"} {
-		if !want(id) {
+		if !want(def(t, id)) {
 			t.Errorf("default selector excluded %s", id)
 		}
 	}
@@ -16,48 +29,48 @@ func TestSelectorAll(t *testing.T) {
 
 func TestSelectorOnly(t *testing.T) {
 	want := selector("e2, E8", false)
-	if !want("E2") || !want("E8") {
+	if !want(def(t, "E2")) || !want(def(t, "E8")) {
 		t.Error("-only selections excluded")
 	}
-	if want("E1") || want("E3") {
+	if want(def(t, "E1")) || want(def(t, "E3")) {
 		t.Error("unselected experiments included")
 	}
 }
 
 func TestSelectorSkipSlow(t *testing.T) {
 	want := selector("", true)
-	for id := range slowExperiments {
-		if want(id) {
-			t.Errorf("-skip-slow included %s", id)
+	for _, d := range eona.Experiments() {
+		if d.Slow && want(d) {
+			t.Errorf("-skip-slow included %s", d.ID)
 		}
 	}
-	if !want("E2") {
+	if !want(def(t, "E2")) {
 		t.Error("-skip-slow excluded a fast experiment")
 	}
 }
 
 func TestSelectorOnlyOverridesSkipSlow(t *testing.T) {
 	want := selector("E1", true)
-	if !want("E1") {
+	if !want(def(t, "E1")) {
 		t.Error("-only E1 should include E1 even with -skip-slow")
 	}
 }
 
-func TestParseShards(t *testing.T) {
-	got, err := parseShards("1, 2,4,8")
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts("-shards", "1, 2,4,8")
 	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 4, 8}) {
-		t.Errorf("parseShards = %v, %v; want [1 2 4 8]", got, err)
+		t.Errorf("parseCounts = %v, %v; want [1 2 4 8]", got, err)
 	}
 	for _, bad := range []string{"", "0", "-1", "two", "4,"} {
 		if bad == "4," {
 			// Trailing commas are tolerated.
-			if _, err := parseShards(bad); err != nil {
-				t.Errorf("parseShards(%q) rejected: %v", bad, err)
+			if _, err := parseCounts("-drivers", bad); err != nil {
+				t.Errorf("parseCounts(%q) rejected: %v", bad, err)
 			}
 			continue
 		}
-		if _, err := parseShards(bad); err == nil {
-			t.Errorf("parseShards(%q) accepted", bad)
+		if _, err := parseCounts("-drivers", bad); err == nil {
+			t.Errorf("parseCounts(%q) accepted", bad)
 		}
 	}
 }

@@ -163,7 +163,12 @@ func healthHandler(peer string, snap *lookingglass.Snapshot[[]core.PeeringInfo])
 // apppSources builds an AppP's A2I surfaces from a collector fed with a
 // deterministic synthetic session stream.
 func apppSources() eona.Sources {
-	col := eona.NewCollector("demo-vod", eona.ExportPolicy{MinGroupSessions: 2}, 5*time.Minute, 42)
+	col := eona.NewA2ICollector(eona.CollectorConfig{
+		AppP:   "demo-vod",
+		Policy: eona.ExportPolicy{MinGroupSessions: 2},
+		Window: 5 * time.Minute,
+		Seed:   42,
+	})
 	model := eona.DefaultModel()
 	isps := []string{"isp-a", "isp-b"}
 	cdns := []string{"cdnX", "cdnY"}

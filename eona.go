@@ -120,10 +120,24 @@ type (
 	// (k-anonymity, Laplace noise, coarsening) — §4's
 	// effectiveness-vs-minimality knob.
 	ExportPolicy = core.ExportPolicy
+	// CollectorConfig is the constructor input for A2I collectors: AppP,
+	// policy, traffic window, noise seed, and shard count (0 or 1 =
+	// single-goroutine, >1 = cluster mode). Zero value is runnable.
+	CollectorConfig = core.CollectorConfig
+	// A2ICollector is the collector surface shared by Collector and
+	// ShardedCollector (ingest, summaries, traffic estimates, flush/close).
+	A2ICollector = core.A2ICollector
 )
+
+// NewA2ICollector builds the collector cfg describes: a *Collector when
+// cfg.Shards <= 1, a *ShardedCollector otherwise.
+func NewA2ICollector(cfg CollectorConfig) A2ICollector { return core.NewA2ICollector(cfg) }
 
 // NewCollector builds a Collector for one AppP. window sizes the traffic
 // estimate window (default 5 minutes); seed feeds the privacy noiser.
+//
+// Deprecated: use NewA2ICollector(CollectorConfig{...}), which names the
+// parameters and covers both collector forms.
 func NewCollector(appP string, policy ExportPolicy, window time.Duration, seed int64) *Collector {
 	return core.NewCollector(appP, policy, window, seed)
 }
@@ -131,6 +145,8 @@ func NewCollector(appP string, policy ExportPolicy, window time.Duration, seed i
 // NewShardedCollector builds a cluster-mode Collector with the given shard
 // count (panics when shards < 1). Ingest and IngestBatch are safe for
 // concurrent producers; Close drains the shards.
+//
+// Deprecated: use NewA2ICollector(CollectorConfig{..., Shards: shards}).
 func NewShardedCollector(appP string, policy ExportPolicy, window time.Duration, seed int64, shards int) *ShardedCollector {
 	return core.NewShardedCollector(appP, policy, window, seed, shards)
 }
@@ -334,6 +350,58 @@ type (
 // reactions). E7 embeds one per churn arm; eona-bench -v prints them.
 type AllocatorStats = netsim.Stats
 
+// ---- The simulated network (downstream what-if studies) ----
+
+type (
+	// Topology is an immutable set of directed links between nodes.
+	Topology = netsim.Topology
+	// Network allocates weighted max-min fair rates over a Topology. It
+	// is single-goroutine; wrap it in a SharedNetwork for concurrent use.
+	Network = netsim.Network
+	// NetworkFlow is a flow handle returned by StartFlow.
+	NetworkFlow = netsim.Flow
+	// NetworkPath is an ordered list of links a flow crosses.
+	NetworkPath = netsim.Path
+	// NetworkReader is the read surface shared by Network, NetSnapshot
+	// and SharedNetwork — write analysis code against it and it runs
+	// identically over live or frozen state.
+	NetworkReader = netsim.Reader
+	// NetSnapshot is an immutable copy of a network's read surface, safe
+	// for unsynchronized use from any goroutine.
+	NetSnapshot = netsim.Snapshot
+	// SharedNetwork wraps a Network for concurrent drivers: one owner
+	// goroutine applies mutations, every read is served lock-free from
+	// the latest published NetSnapshot.
+	SharedNetwork = netsim.SharedNetwork
+	// SharedConfig parameterizes NewSharedNetwork (queue depth,
+	// deterministic sequencer mode, op recording).
+	SharedConfig = netsim.SharedConfig
+	// CongestionLevel classifies link utilization for I2A export.
+	CongestionLevel = netsim.CongestionLevel
+)
+
+// Congestion levels, least to most loaded.
+const (
+	CongestionNone     = netsim.CongestionNone
+	CongestionModerate = netsim.CongestionModerate
+	CongestionHigh     = netsim.CongestionHigh
+	CongestionSevere   = netsim.CongestionSevere
+)
+
+// NewTopology returns an empty topology; add links, then freeze it into a
+// Network.
+func NewTopology() *Topology { return netsim.NewTopology() }
+
+// NewNetwork builds a single-goroutine max-min network over a topology.
+func NewNetwork(t *Topology) *Network { return netsim.NewNetwork(t) }
+
+// NewSharedNetwork wraps a Network for concurrent drivers and snapshot
+// readers. The Network must not be touched directly afterwards; Close
+// returns it.
+func NewSharedNetwork(n *Network, cfg SharedConfig) *SharedNetwork {
+	return netsim.NewShared(n, cfg)
+}
+
 // Fault injection (E15 and downstream chaos studies): deterministic,
 // seeded fault plans applied to scenarios via ScenarioConfig.Faults, or to
 // live looking-glass traffic via the wrappers in internal/faults.
@@ -387,28 +455,49 @@ type FlashCrowdConfig = expt.E1Config
 type FlashCrowdArm = expt.E1Result
 
 // RunFlashCrowd reproduces Figure 3 (E1) with default parameters.
+//
+// Deprecated: use RunExperiment("E1", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunFlashCrowd(seed int64) FlashCrowdResult { return expt.RunE1(seed) }
 
 // RunFlashCrowdConfig runs one Figure 3 arm with custom parameters.
 func RunFlashCrowdConfig(cfg FlashCrowdConfig) FlashCrowdArm { return expt.RunE1Arm(cfg) }
 
 // RunOscillation reproduces Figure 5 (E2).
+//
+// Deprecated: use RunExperiment("E2", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunOscillation(seed int64) OscillationResult { return expt.RunE2(seed) }
 
 // RunInference reproduces Figure 4 (E3).
+//
+// Deprecated: use RunExperiment("E3", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunInference(seed int64) InferenceResult { return expt.RunE3(seed) }
 
 // RunCoarseControl reproduces the §2 server-failure scenario (E4).
+//
+// Deprecated: use RunExperiment("E4", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunCoarseControl(seed int64) CoarseControlResult { return expt.RunE4(seed) }
 
 // RunEnergySaving reproduces the §2 server-shutdown scenario (E5).
+//
+// Deprecated: use RunExperiment("E5", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunEnergySaving(seed int64) EnergyResult { return expt.RunE5(seed) }
 
 // RunStaleness sweeps interface delay (E6).
+//
+// Deprecated: use RunExperiment("E6", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunStaleness(seed int64) StalenessResult { return expt.RunE6(seed) }
 
 // RunScalability measures the A2I pipeline (E7). n is the record volume
 // (default 500k when ≤ 0).
+//
+// Deprecated: use RunExperiment("E7", ExperimentConfig{E7: ScalabilityConfig{Records: n}})
+// for the rendered table; this wrapper remains for callers needing the typed result.
 func RunScalability(n int) ScalabilityResult { return expt.RunE7(n) }
 
 // ScalabilityConfig parameterizes E7: record volume and the shard counts
@@ -418,51 +507,110 @@ type ScalabilityConfig = expt.E7Config
 // ScalabilityShardPoint is one cluster-mode measurement.
 type ScalabilityShardPoint = expt.E7ShardPoint
 
+// ScalabilityDriverPoint is one shared-network churn measurement (N
+// concurrent drivers pushing mutations through one owner goroutine).
+type ScalabilityDriverPoint = expt.E7DriverPoint
+
 // RunScalabilityConfig measures the A2I pipeline with explicit knobs.
 func RunScalabilityConfig(cfg ScalabilityConfig) ScalabilityResult { return expt.RunE7Config(cfg) }
 
 // RunInterfaceWidth runs the §4 none→narrow→oracle ladder (E8).
+//
+// Deprecated: use RunExperiment("E8", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunInterfaceWidth(seed int64) InterfaceWidthResult { return expt.RunE8(seed) }
 
 // RunTimescales sweeps TE-vs-player control periods with and without
 // dampening (E9).
+//
+// Deprecated: use RunExperiment("E9", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunTimescales(seed int64) TimescaleResult { return expt.RunE9(seed) }
 
 // RunFairness compares per-pipe and per-user fairness across AppPs (E10).
+//
+// Deprecated: use RunExperiment("E10", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunFairness(seed int64) FairnessResult { return expt.RunE10(seed) }
 
 // RunPrivacy sweeps A2I blinding levels (E11).
+//
+// Deprecated: use RunExperiment("E11", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunPrivacy(seed int64) PrivacyResult { return expt.RunE11(seed) }
 
 // RunFeatureSelection ranks session attributes by information gain (E12).
+//
+// Deprecated: use RunExperiment("E12", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunFeatureSelection(seed int64) FeatureSelectionResult { return expt.RunE12(seed) }
 
 // RunWebCellular reproduces Figure 4 in its native web-over-cellular
 // setting (E13).
+//
+// Deprecated: use RunExperiment("E13", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunWebCellular(seed int64) WebCellularResult { return expt.RunE13(seed) }
 
 // RunSearchSpace compares exhaustive and EONA-guided knob search (E14).
+//
+// Deprecated: use RunExperiment("E14", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunSearchSpace(seed int64) SearchSpaceResult { return expt.RunE14(seed) }
 
 // RunChaos executes the E15 chaos sweep: the Figure 5 scenario under
 // seeded fault plans (access-link flap + partner-exchange outage),
 // comparing baseline, hint-trusting EONA, and confidence-aware EONA.
+//
+// Deprecated: use RunExperiment("E15", ExperimentConfig{Seed: seed}) for the
+// rendered table; this wrapper remains for callers needing the typed result.
 func RunChaos(seed int64) ChaosResult { return expt.RunE15(seed) }
 
-// ---- The E-suite as data (parallel runner) ----
+// ---- The E-suite as data (experiment registry + parallel runner) ----
 
 type (
 	// Experiment is one runnable E-suite entry (ID, slow flag, Run).
 	Experiment = expt.Experiment
 	// ExperimentTable is the rendered result of one experiment.
 	ExperimentTable = expt.Table
+	// ExperimentConfig carries every knob an experiment can draw from
+	// (seed, E7 scalability parameters). The zero value is runnable.
+	ExperimentConfig = expt.Config
+	// ExperimentDef is one registered experiment: ID, title, slow flag,
+	// and a Run hook over ExperimentConfig. Bind one to a config to get a
+	// runnable Experiment.
+	ExperimentDef = expt.Definition
 )
+
+// Experiments returns the full E1–E15 registry in suite order. This is
+// the one enumeration of the E-suite; the typed Run* functions above are
+// the per-experiment entry points underneath it.
+func Experiments() []ExperimentDef { return expt.Definitions() }
+
+// LookupExperiment returns the registered definition for an ID ("E7").
+func LookupExperiment(id string) (ExperimentDef, bool) { return expt.Lookup(id) }
+
+// RunExperiment looks up an experiment by ID and runs it under cfg,
+// returning its rendered table (nil, false for an unknown ID).
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, bool) {
+	d, ok := expt.Lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return d.Run(cfg), true
+}
+
+// BindExperiments binds every registered definition to cfg, in suite
+// order — the input RunExperiments consumes.
+func BindExperiments(cfg ExperimentConfig) []Experiment { return expt.BindAll(cfg) }
 
 // ExperimentSuite returns the full E1–E15 list bound to a seed; e7
 // parameterizes the scalability run. Entries are independent (private
 // seeded randomness, private simulated networks) and safe to run
 // concurrently; only E7's wall-clock rows lose meaning under co-running
 // load.
+//
+// Deprecated: use BindExperiments(ExperimentConfig{Seed: seed, E7: e7}).
 func ExperimentSuite(seed int64, e7 ScalabilityConfig) []Experiment {
 	return expt.Suite(seed, e7)
 }

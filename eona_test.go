@@ -78,6 +78,72 @@ func TestFacadeExperimentsRender(t *testing.T) {
 	}
 }
 
+// TestFacadeExperimentRegistry pins the registry path and its equivalence
+// with the deprecated per-experiment wrappers.
+func TestFacadeExperimentRegistry(t *testing.T) {
+	defs := eona.Experiments()
+	if len(defs) != 15 {
+		t.Fatalf("registry lists %d experiments, want 15", len(defs))
+	}
+	if _, ok := eona.LookupExperiment("E2"); !ok {
+		t.Fatal("E2 missing from registry")
+	}
+	if _, ok := eona.RunExperiment("E99", eona.ExperimentConfig{}); ok {
+		t.Error("RunExperiment accepted an unknown ID")
+	}
+	tb, ok := eona.RunExperiment("E2", eona.ExperimentConfig{Seed: 3})
+	if !ok {
+		t.Fatal("RunExperiment(E2) not found")
+	}
+	if want := eona.RunOscillation(3).Table().String(); tb.String() != want {
+		t.Error("registry E2 table differs from deprecated RunOscillation wrapper")
+	}
+	if got := len(eona.BindExperiments(eona.ExperimentConfig{Seed: 1})); got != 15 {
+		t.Errorf("BindExperiments bound %d experiments, want 15", got)
+	}
+}
+
+// TestFacadeCollectorConfig pins the config constructor against the
+// deprecated positional one through the facade.
+func TestFacadeCollectorConfig(t *testing.T) {
+	cfg := eona.CollectorConfig{AppP: "vod", Window: time.Minute, Seed: 1}
+	col := eona.NewA2ICollector(cfg)
+	old := eona.NewCollector("vod", eona.ExportPolicy{}, time.Minute, 1)
+	model := eona.DefaultModel()
+	for i := 0; i < 4; i++ {
+		m := eona.SessionMetrics{PlayTime: 5 * time.Minute, AvgBitrate: 3e6}
+		rec := eona.RecordFrom(model, m, "s", "vod", "isp1", "cdnX", "east", time.Duration(i)*time.Second)
+		col.Ingest(rec)
+		old.Ingest(rec)
+	}
+	a, b := col.Summaries(), old.Summaries()
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Errorf("config-built summaries %+v differ from positional %+v", a, b)
+	}
+	col.Close()
+}
+
+// TestFacadeSharedNetwork drives the concurrency surface end to end
+// through the facade: topology, shared wrapper, snapshot reads.
+func TestFacadeSharedNetwork(t *testing.T) {
+	topo := eona.NewTopology()
+	l := topo.AddLink("a", "b", 10e6, time.Millisecond, "link")
+	s := eona.NewSharedNetwork(eona.NewNetwork(topo), eona.SharedConfig{})
+	f := s.StartFlow(eona.NetworkPath{l}, 4e6, "t")
+	sn := s.Snapshot()
+	if got, ok := sn.Flow(f.ID); !ok || got.Rate != 4e6 {
+		t.Errorf("snapshot flow = %+v, %v", got, ok)
+	}
+	var r eona.NetworkReader = sn
+	if r.Utilization(l.ID) != 0.4 {
+		t.Errorf("utilization = %v, want 0.4", r.Utilization(l.ID))
+	}
+	if s.Congestion(l.ID) != eona.CongestionNone {
+		t.Errorf("congestion = %v", s.Congestion(l.ID))
+	}
+	s.Close()
+}
+
 func TestFacadePolicies(t *testing.T) {
 	var appP eona.AppPPolicy = &eona.BaselineAppP{Threshold: 60}
 	var infP eona.InfPPolicy = &eona.EONAInfP{Margin: 0.1, HighWater: 0.9}

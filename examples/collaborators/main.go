@@ -19,7 +19,7 @@ import (
 func main() {
 	// The AppP's raw collection: a busy group on cdnX, a small (and
 	// therefore identifying) group on cdnY.
-	col := eona.NewCollector("vod", eona.ExportPolicy{}, 5*time.Minute, 1)
+	col := eona.NewA2ICollector(eona.CollectorConfig{AppP: "vod", Window: 5 * time.Minute, Seed: 1})
 	model := eona.DefaultModel()
 	for i := 0; i < 40; i++ {
 		m := eona.SessionMetrics{PlayTime: 10 * time.Minute, AvgBitrate: 2.5e6,

@@ -18,7 +18,12 @@ import (
 
 func main() {
 	// --- AppP side: collect sessions, export A2I. ---
-	col := eona.NewCollector("vod", eona.ExportPolicy{MinGroupSessions: 2}, 5*time.Minute, 1)
+	col := eona.NewA2ICollector(eona.CollectorConfig{
+		AppP:   "vod",
+		Policy: eona.ExportPolicy{MinGroupSessions: 2},
+		Window: 5 * time.Minute,
+		Seed:   1,
+	})
 	model := eona.DefaultModel()
 	for i := 0; i < 60; i++ {
 		cdnName := "cdnX"

@@ -27,7 +27,12 @@ func main() {
 
 	// 2. A2I collection: per-session measurements roll up into blinded
 	// group summaries.
-	col := eona.NewCollector("demo-vod", eona.ExportPolicy{MinGroupSessions: 3}, time.Minute, 7)
+	col := eona.NewA2ICollector(eona.CollectorConfig{
+		AppP:   "demo-vod",
+		Policy: eona.ExportPolicy{MinGroupSessions: 3},
+		Window: time.Minute,
+		Seed:   7,
+	})
 	model := eona.DefaultModel()
 	for i := 0; i < 10; i++ {
 		m := eona.SessionMetrics{

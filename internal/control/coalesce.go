@@ -17,9 +17,14 @@ import (
 // the same simulated instant. No simulated time passes in between, but
 // other same-instant events observe the pre-reaction network state; the
 // simulation stays deterministic either way.
+//
+// The commit target is pluggable: NewCoalescer batches directly on a serial
+// Network, NewSharedCoalescer routes the same batch through a
+// SharedNetwork's owner goroutine so concurrent snapshot readers stay
+// race-free while the sim thread keeps writing.
 type Coalescer struct {
 	eng     *sim.Engine
-	net     *netsim.Network
+	commit  func(fns []func())
 	pending []func()
 	armed   bool
 }
@@ -27,7 +32,33 @@ type Coalescer struct {
 // NewCoalescer returns a Coalescer committing deferred reactions on net at
 // the end of each of eng's ticks.
 func NewCoalescer(eng *sim.Engine, net *netsim.Network) *Coalescer {
-	return &Coalescer{eng: eng, net: net}
+	return &Coalescer{eng: eng, commit: func(fns []func()) {
+		net.NoteCoalescedReactions(uint64(len(fns)))
+		net.Batch(func() {
+			for _, fn := range fns {
+				fn()
+			}
+		})
+	}}
+}
+
+// NewSharedCoalescer returns a Coalescer committing deferred reactions
+// through a SharedNetwork: the whole tick's reactions run as one command on
+// the owner goroutine, publishing a single new snapshot. The deferred
+// closures run with the inner network exclusively held, so reactions built
+// against the raw *Network the SharedNetwork wraps (the usual sim wiring:
+// one simulation thread writes, other goroutines read snapshots) stay
+// correct unchanged; reactions must not call back into the SharedNetwork's
+// own mutation methods, which would deadlock on the owner.
+func NewSharedCoalescer(eng *sim.Engine, net *netsim.SharedNetwork) *Coalescer {
+	return &Coalescer{eng: eng, commit: func(fns []func()) {
+		net.Batch(func(n *netsim.Network) {
+			n.NoteCoalescedReactions(uint64(len(fns)))
+			for _, fn := range fns {
+				fn()
+			}
+		})
+	}}
 }
 
 // Defer queues fn for the shared end-of-tick commit. The first deferral of
@@ -51,10 +82,5 @@ func (c *Coalescer) flush(*sim.Engine) {
 	if len(fns) == 0 {
 		return
 	}
-	c.net.CoalescedReactions += uint64(len(fns))
-	c.net.Batch(func() {
-		for _, fn := range fns {
-			fn()
-		}
-	})
+	c.commit(fns)
 }

@@ -49,6 +49,9 @@ const volumeSensitivity = 3e6
 // NewCollector builds a collector for one AppP. window sizes the traffic
 // estimate window (default 5 minutes if zero); seed feeds the privacy
 // noiser.
+//
+// Deprecated: use NewA2ICollector(CollectorConfig{...}), which names the
+// parameters and covers both single-goroutine and sharded collectors.
 func NewCollector(appP string, policy ExportPolicy, window time.Duration, seed int64) *Collector {
 	if window <= 0 {
 		window = 5 * time.Minute

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestNewA2ICollectorSelectsForm pins the dispatch rule: Shards 0 and 1
+// both build the single-goroutine Collector, anything above builds the
+// sharded one with the requested shard count.
+func TestNewA2ICollectorSelectsForm(t *testing.T) {
+	for _, shards := range []int{0, 1} {
+		c := NewA2ICollector(CollectorConfig{AppP: "vod", Shards: shards})
+		if _, ok := c.(*Collector); !ok {
+			t.Errorf("Shards=%d built %T, want *Collector", shards, c)
+		}
+		// No-op lifecycle hooks must be callable.
+		c.Flush()
+		c.Close()
+	}
+	c := NewA2ICollector(CollectorConfig{AppP: "vod", Shards: 4})
+	sc, ok := c.(*ShardedCollector)
+	if !ok {
+		t.Fatalf("Shards=4 built %T, want *ShardedCollector", c)
+	}
+	if sc.Shards() != 4 {
+		t.Errorf("shard count = %d, want 4", sc.Shards())
+	}
+	sc.Close()
+}
+
+// TestNewA2ICollectorMatchesDeprecatedConstructors is the deprecation
+// equivalence pin: a config-built collector produces byte-identical
+// exports to one built with the positional constructor, for both forms.
+func TestNewA2ICollectorMatchesDeprecatedConstructors(t *testing.T) {
+	recs := genRecords(2_000, 11)
+	policy := ExportPolicy{MinGroupSessions: 3, NoiseEpsilon: 2, CoarsenScoreStep: 5}
+	now := 20 * time.Second
+
+	check := func(label string, a, b A2ICollector) {
+		t.Helper()
+		for _, r := range recs {
+			a.Ingest(r)
+		}
+		b.IngestBatch(recs)
+		a.Flush()
+		b.Flush()
+		if ai, bi := a.Ingested(), b.Ingested(); ai != bi {
+			t.Errorf("%s: ingested %d vs %d", label, ai, bi)
+		}
+		if as, bs := a.Summaries(), b.Summaries(); !reflect.DeepEqual(as, bs) {
+			t.Errorf("%s: summaries differ", label)
+		}
+		if as, bs := a.SummariesUnder(ExportPolicy{}, 7), b.SummariesUnder(ExportPolicy{}, 7); !reflect.DeepEqual(as, bs) {
+			t.Errorf("%s: partner summaries differ", label)
+		}
+		if at, bt := a.TrafficEstimates(now), b.TrafficEstimates(now); !reflect.DeepEqual(at, bt) {
+			t.Errorf("%s: traffic estimates differ", label)
+		}
+		a.Close()
+		b.Close()
+	}
+
+	check("single",
+		NewCollector("vod", policy, time.Minute, 9),
+		NewA2ICollector(CollectorConfig{AppP: "vod", Policy: policy, Window: time.Minute, Seed: 9}))
+	check("sharded",
+		NewShardedCollector("vod", policy, time.Minute, 9, 3),
+		NewA2ICollector(CollectorConfig{AppP: "vod", Policy: policy, Window: time.Minute, Seed: 9, Shards: 3}))
+}

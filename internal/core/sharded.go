@@ -99,6 +99,9 @@ type shardSnapshot struct {
 // (panics when shards < 1). window and seed behave as in NewCollector; each
 // shard's private Collector gets its own seed derived from the base seed,
 // so per-shard noise streams are independent and reproducible.
+//
+// Deprecated: use NewA2ICollector(CollectorConfig{..., Shards: n}), which
+// names the parameters and covers both collector forms.
 func NewShardedCollector(appP string, policy ExportPolicy, window time.Duration, seed int64, shards int) *ShardedCollector {
 	if shards < 1 {
 		panic(fmt.Sprintf("core: ShardedCollector needs at least 1 shard, got %d", shards))

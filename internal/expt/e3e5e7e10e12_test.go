@@ -163,6 +163,60 @@ func TestE12TableRenders(t *testing.T) {
 	}
 }
 
+// TestE7SharedDriverArm pins the multi-driver rows: a serial baseline plus
+// one row per swept driver count, each with a positive throughput and a
+// speedup relative to the baseline. Runs under -race in check.sh, so it
+// doubles as the hammer for N drivers pushing through one owner goroutine
+// while a snapshot reader spins.
+func TestE7SharedDriverArm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	r := RunE7Config(E7Config{
+		Records:      2_000,
+		ShardCounts:  []int{}, // skip cluster rows; this test is about drivers
+		DriverCounts: []int{1, 3},
+	})
+	if r.SharedSerialPerSec <= 0 {
+		t.Fatalf("serial baseline = %v muts/s", r.SharedSerialPerSec)
+	}
+	if len(r.DriverPoints) != 2 {
+		t.Fatalf("driver points = %+v, want 2 entries", r.DriverPoints)
+	}
+	for _, p := range r.DriverPoints {
+		if p.PerSec <= 0 || p.Speedup <= 0 {
+			t.Errorf("driver point %+v has non-positive rate or speedup", p)
+		}
+	}
+	s := r.Table().String()
+	for _, want := range []string{
+		"shared-network churn (serial baseline)",
+		"shared-network churn (1 drivers)",
+		"shared-network churn (3 drivers)",
+		"vs direct serial",
+	} {
+		if !contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestE7DriverSweepSkips pins the sweep-gating contract: a non-nil empty
+// DriverCounts skips the arm entirely (no baseline measured, no rows).
+func TestE7DriverSweepSkips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	r := RunE7Config(E7Config{Records: 2_000, ShardCounts: []int{}, DriverCounts: []int{}})
+	if r.SharedSerialPerSec != 0 || len(r.DriverPoints) != 0 {
+		t.Errorf("empty DriverCounts should skip the arm; got baseline=%v points=%+v",
+			r.SharedSerialPerSec, r.DriverPoints)
+	}
+	if s := r.Table().String(); contains(s, "shared-network churn") {
+		t.Error("table should have no shared-network rows when the sweep is skipped")
+	}
+}
+
 func TestE7PipelineMeetsPaperScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock measurement")

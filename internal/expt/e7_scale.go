@@ -43,6 +43,24 @@ type E7Config struct {
 	// cluster-mode rows (default 1, 2, 4, 8; nil uses the default, empty
 	// non-nil skips the sweep).
 	ShardCounts []int
+	// DriverCounts lists the concurrent-goroutine driver counts to sweep
+	// against one netsim.SharedNetwork (default 1, 2, 4; nil uses the
+	// default, empty non-nil skips the sweep). Each driver mutates a
+	// disjoint subset of rails while a reader goroutine spins on published
+	// snapshots.
+	DriverCounts []int
+}
+
+// E7DriverPoint is one shared-network measurement: mutation throughput
+// with the given number of concurrent driver goroutines, relative to
+// driving the serial Network directly (no command channel).
+type E7DriverPoint struct {
+	Drivers int
+	// PerSec is committed mutations/second through the owner goroutine.
+	PerSec float64
+	// Speedup is PerSec over the direct serial-Network rate on the same
+	// workload (< 1 on one core: the rows price the command-channel hop).
+	Speedup float64
 }
 
 // E7ShardPoint is one cluster-mode measurement: ingest throughput with the
@@ -103,6 +121,14 @@ type E7Result struct {
 	ReactFlowsSaved float64
 	// ReactStats snapshots the coalesced run's allocator counters.
 	ReactStats netsim.Stats
+
+	// SharedSerialPerSec is the direct serial-Network mutation rate on the
+	// shared-arm workload — the no-channel baseline the driver rows are
+	// compared against.
+	SharedSerialPerSec float64
+	// DriverPoints are the shared-network rows (one per swept driver
+	// count).
+	DriverPoints []E7DriverPoint
 
 	// ShardPoints are the cluster-mode rows (one per swept shard count).
 	ShardPoints []E7ShardPoint
@@ -348,7 +374,146 @@ func RunE7Config(cfg E7Config) E7Result {
 	if coalStats.FlowsRecomputed > 0 {
 		res.ReactFlowsSaved = float64(uncoalStats.FlowsRecomputed) / float64(coalStats.FlowsRecomputed)
 	}
+
+	// Shared-network driver sweep: the same lifecycle churn routed through
+	// a netsim.SharedNetwork's owner goroutine from N concurrent drivers.
+	driverCounts := cfg.DriverCounts
+	if driverCounts == nil {
+		driverCounts = []int{1, 2, 4}
+	}
+	if len(driverCounts) > 0 {
+		res.SharedSerialPerSec = measureSharedDrivers(0)
+		for _, d := range driverCounts {
+			perSec := measureSharedDrivers(d)
+			pt := E7DriverPoint{Drivers: d, PerSec: perSec}
+			if res.SharedSerialPerSec > 0 {
+				pt.Speedup = perSec / res.SharedSerialPerSec
+			}
+			res.DriverPoints = append(res.DriverPoints, pt)
+		}
+	}
 	return res
+}
+
+// measureSharedDrivers times lifecycle churn against one SharedNetwork:
+// `drivers` goroutines each own a disjoint subset of rails and push
+// demand/stop/start mutations through the owner goroutine while one reader
+// goroutine spins on published snapshots. drivers == 0 measures the
+// baseline: the identical single-goroutine workload applied directly to
+// the serial Network (no command channel, no snapshots).
+func measureSharedDrivers(drivers int) float64 {
+	const (
+		sRails    = 32
+		sLinks    = 2
+		sFlows    = 4
+		sMuts     = 8_000
+		sCapacity = 50e6
+	)
+	topo := netsim.NewTopology()
+	paths := make([]netsim.Path, sRails)
+	for r := 0; r < sRails; r++ {
+		for l := 0; l < sLinks; l++ {
+			lk := topo.AddLink(
+				netsim.NodeID(fmt.Sprintf("sr%d-n%d", r, l)),
+				netsim.NodeID(fmt.Sprintf("sr%d-n%d", r, l+1)),
+				sCapacity, time.Millisecond, "shared-rail")
+			paths[r] = append(paths[r], lk)
+		}
+	}
+	nw := netsim.NewNetwork(topo)
+	flows := make([][]*netsim.Flow, sRails)
+	nw.Batch(func() {
+		for r := 0; r < sRails; r++ {
+			for i := 0; i < sFlows; i++ {
+				flows[r] = append(flows[r], nw.StartFlow(paths[r], 4e6, "shared"))
+			}
+		}
+	})
+
+	// churnRail applies one mutation to rail r using the given mutators.
+	type mutator struct {
+		setDemand func(f *netsim.Flow, bps float64)
+		stop      func(f *netsim.Flow)
+		start     func(p netsim.Path, bps float64) *netsim.Flow
+	}
+	churnRail := func(m mutator, r, i int) {
+		fs := flows[r]
+		switch i % 3 {
+		case 0:
+			m.setDemand(fs[i%len(fs)], float64(1+(i+i/len(fs))%8)*1e6)
+		case 1:
+			m.stop(fs[0])
+			fs[0] = m.start(paths[r], 4e6)
+		default:
+			m.setDemand(fs[(i+1)%len(fs)], float64(1+(i+i/len(fs))%4)*2e6)
+		}
+	}
+
+	if drivers == 0 {
+		m := mutator{
+			setDemand: nw.SetDemand,
+			stop:      nw.StopFlow,
+			start:     func(p netsim.Path, bps float64) *netsim.Flow { return nw.StartFlow(p, bps, "shared") },
+		}
+		t0 := time.Now()
+		for i := 0; i < sMuts; i++ {
+			churnRail(m, i%sRails, i)
+		}
+		return float64(sMuts) / time.Since(t0).Seconds()
+	}
+
+	if drivers > sRails {
+		drivers = sRails // one rail is the smallest unit of ownership
+	}
+	s := netsim.NewShared(nw, netsim.SharedConfig{})
+	m := mutator{
+		setDemand: s.SetDemand,
+		stop:      s.StopFlow,
+		start:     func(p netsim.Path, bps float64) *netsim.Flow { return s.StartFlow(p, bps, "shared") },
+	}
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sn := s.Snapshot()
+			_ = sn.Utilization(paths[i%sRails][0].ID)
+			_ = sn.NumFlows()
+			i++
+		}
+	}()
+	perDriver := sMuts / drivers
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for d := 0; d < drivers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			// Disjoint rail ownership: driver d churns exactly the rails
+			// ≡ d (mod drivers), so per-rail flow-handle slices are never
+			// shared between drivers.
+			var own []int
+			for r := d; r < sRails; r += drivers {
+				own = append(own, r)
+			}
+			for i := 0; i < perDriver; i++ {
+				churnRail(m, own[i%len(own)], i)
+			}
+		}(d)
+	}
+	wg.Wait()
+	el := time.Since(t0).Seconds()
+	close(stop)
+	readerWG.Wait()
+	s.Close()
+	return float64(drivers*perDriver) / el
 }
 
 // measureShardedIngest times end-to-end sharded ingest of recs: nsh shards,
@@ -412,6 +577,16 @@ func (r E7Result) Table() *Table {
 	t.AddRow("allocator churn (auto-tuned cutoff)",
 		fmt.Sprintf("%.1fk muts/s", r.ChurnAutoTunePerSec/1e3),
 		"registry + per-component cutoff tuning")
+	if len(r.DriverPoints) > 0 {
+		t.AddRow("shared-network churn (serial baseline)",
+			fmt.Sprintf("%.1fk muts/s", r.SharedSerialPerSec/1e3),
+			"same workload on the raw Network, no command channel")
+		for _, p := range r.DriverPoints {
+			t.AddRow(fmt.Sprintf("shared-network churn (%d drivers)", p.Drivers),
+				fmt.Sprintf("%.1fk muts/s", p.PerSec/1e3),
+				fmt.Sprintf("%.2f× vs direct serial; snapshot reader live", p.Speedup))
+		}
+	}
 	if r.ReactUncoalescedPerSec > 0 {
 		t.AddRow("reaction churn (uncoalesced)",
 			fmt.Sprintf("%.1fk react/s", r.ReactUncoalescedPerSec/1e3),
@@ -425,6 +600,10 @@ func (r E7Result) Table() *Table {
 	if len(r.ShardPoints) > 0 {
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("cluster rows measured at GOMAXPROCS=%d; shard speedup is bounded by available cores", r.Procs))
+	}
+	if len(r.DriverPoints) > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("driver rows measured at GOMAXPROCS=%d; on one core they price the command-channel hop, not parallel speedup", r.Procs))
 	}
 	t.Verbose = append(t.Verbose,
 		fmt.Sprintf("registry churn stats: %s", statsLine(r.ChurnStats)),

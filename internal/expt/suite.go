@@ -23,24 +23,12 @@ type Experiment struct {
 // throughput rows are timing measurements, and co-running experiments
 // steal cycles from them — run E7 alone (or with parallelism 1) when its
 // absolute numbers matter.
+//
+// Deprecated: use BindAll(Config{Seed: seed, E7: e7}), which draws from
+// the experiment registry (Definitions); Suite is a thin wrapper kept for
+// callers of the original two-argument shape.
 func Suite(seed int64, e7 E7Config) []Experiment {
-	return []Experiment{
-		{ID: "E1", Slow: true, Run: func() *Table { return RunE1(seed).Table() }},
-		{ID: "E2", Run: func() *Table { return RunE2(seed).Table() }},
-		{ID: "E3", Run: func() *Table { return RunE3(seed).Table() }},
-		{ID: "E4", Slow: true, Run: func() *Table { return RunE4(seed).Table() }},
-		{ID: "E5", Run: func() *Table { return RunE5(seed).Table() }},
-		{ID: "E6", Run: func() *Table { return RunE6(seed).Table() }},
-		{ID: "E7", Slow: true, Run: func() *Table { return RunE7Config(e7).Table() }},
-		{ID: "E8", Run: func() *Table { return RunE8(seed).Table() }},
-		{ID: "E9", Run: func() *Table { return RunE9(seed).Table() }},
-		{ID: "E10", Run: func() *Table { return RunE10(seed).Table() }},
-		{ID: "E11", Run: func() *Table { return RunE11(seed).Table() }},
-		{ID: "E12", Run: func() *Table { return RunE12(seed).Table() }},
-		{ID: "E13", Run: func() *Table { return RunE13(seed).Table() }},
-		{ID: "E14", Run: func() *Table { return RunE14(seed).Table() }},
-		{ID: "E15", Run: func() *Table { return RunE15(seed).Table() }},
-	}
+	return BindAll(Config{Seed: seed, E7: e7})
 }
 
 // RunConcurrent executes the experiments with at most parallelism workers

@@ -241,13 +241,23 @@ func (n *Network) attached(f *Flow) bool {
 // reallocates. The path must be connected (panics otherwise: a disconnected
 // path is a scenario bug, not a runtime condition).
 func (n *Network) StartFlow(path Path, demand float64, tag string) *Flow {
+	f := &Flow{}
+	n.startFlowAs(f, path, demand, tag)
+	return f
+}
+
+// startFlowAs attaches a caller-provided flow handle. SharedNetwork's
+// deterministic mode hands callers their *Flow before the op is applied;
+// the owner goroutine fills it in here so the caller's handle and the
+// network's handle are the same object.
+func (n *Network) startFlowAs(f *Flow, path Path, demand float64, tag string) {
 	if !path.Valid("", "") {
 		panic(fmt.Sprintf("netsim: disconnected path %v", path))
 	}
 	if demand < 0 {
 		demand = 0
 	}
-	f := &Flow{ID: n.nextID, Path: path, Demand: demand, Tag: tag}
+	f.ID, f.Path, f.Demand, f.Rate, f.Weight, f.Tag = n.nextID, path, demand, 0, 0, tag
 	n.nextID++
 	n.flows[f.ID] = f
 	n.indexFlow(f)
@@ -256,7 +266,6 @@ func (n *Network) StartFlow(path Path, demand float64, tag string) *Flow {
 	}
 	n.markFlowDirty(f)
 	n.commit()
-	return f
 }
 
 // StopFlow detaches a flow and reallocates. Stopping an unknown or
@@ -697,11 +706,7 @@ func (n *Network) Utilization(id LinkID) float64 {
 	if l == nil {
 		return 0
 	}
-	u := n.linkRate[id] / l.Capacity
-	if u > 1 {
-		u = 1 // numerical safety; allocation never exceeds capacity
-	}
-	return u
+	return utilizationOf(n.linkRate[id], l.Capacity)
 }
 
 // FlowsOn returns the number of flows crossing a link.
@@ -736,19 +741,7 @@ func (n *Network) QueueDelay(id LinkID) time.Duration {
 	if l == nil {
 		return 0
 	}
-	u := n.Utilization(id)
-	if u >= 0.999 {
-		u = 0.999
-	}
-	base := l.Delay
-	if base == 0 {
-		base = time.Millisecond
-	}
-	q := time.Duration(float64(base) * 0.5 * u / (1 - u))
-	if max := 50 * base; q > max {
-		q = max
-	}
-	return q
+	return queueDelayOf(n.Utilization(id), l.Delay)
 }
 
 // PathRTT returns the round-trip time of a path including queueing delay on
@@ -766,12 +759,7 @@ func (n *Network) PathRTT(p Path) time.Duration {
 // utilization, rising quadratically to 5% at full utilization. This feeds
 // the network-level features used by the inference baseline (Figure 4).
 func (n *Network) LossRate(id LinkID) float64 {
-	u := n.Utilization(id)
-	if u <= 0.9 {
-		return 0
-	}
-	x := (u - 0.9) / 0.1
-	return 0.05 * x * x
+	return lossRateOf(n.Utilization(id))
 }
 
 // PathLoss returns the combined loss probability along a path.
@@ -815,17 +803,7 @@ func (c CongestionLevel) String() string {
 
 // Congestion classifies the current utilization of a link.
 func (n *Network) Congestion(id LinkID) CongestionLevel {
-	u := n.Utilization(id)
-	switch {
-	case u >= 0.98:
-		return CongestionSevere
-	case u >= 0.90:
-		return CongestionHigh
-	case u >= 0.70:
-		return CongestionModerate
-	default:
-		return CongestionNone
-	}
+	return congestionOf(n.Utilization(id))
 }
 
 // Headroom returns the unallocated capacity of a link in bits/s.
@@ -839,4 +817,12 @@ func (n *Network) Headroom(id LinkID) float64 {
 		h = 0
 	}
 	return h
+}
+
+// NoteCoalescedReactions adds k to the CoalescedReactions counter. Control
+// loops call this (rather than writing the field) so the accounting has a
+// single entry point that SharedNetwork.Batch can route through its owner
+// goroutine.
+func (n *Network) NoteCoalescedReactions(k uint64) {
+	n.CoalescedReactions += k
 }

@@ -1,0 +1,589 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// OpKind enumerates the mutations a SharedNetwork accepts and records.
+type OpKind uint8
+
+const (
+	// OpStart attaches a flow (Links = path, Value = demand, Tag = tag;
+	// Flow = the ID the network assigned at apply time).
+	OpStart OpKind = iota
+	// OpStop detaches flow Flow.
+	OpStop
+	// OpSetDemand sets flow Flow's demand ceiling to Value.
+	OpSetDemand
+	// OpSetWeight sets flow Flow's fair-share weight to Value.
+	OpSetWeight
+	// OpSetPath re-routes flow Flow onto Links.
+	OpSetPath
+	// OpSetLinkCapacity sets link Link's capacity to Value.
+	OpSetLinkCapacity
+)
+
+// String returns the op kind's lowercase name.
+func (k OpKind) String() string {
+	switch k {
+	case OpStart:
+		return "start"
+	case OpStop:
+		return "stop"
+	case OpSetDemand:
+		return "set-demand"
+	case OpSetWeight:
+		return "set-weight"
+	case OpSetPath:
+		return "set-path"
+	case OpSetLinkCapacity:
+		return "set-link-capacity"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one committed mutation in a SharedNetwork's log: a value type that
+// can be replayed onto a fresh serial Network (Replay) or serialized for a
+// future multi-process cluster mode. The log records ops in application
+// order, so replaying it serially reproduces the shared run's flow and
+// link rates bit for bit (pinned by TestSharedDifferentialOnFixtures).
+type Op struct {
+	Kind  OpKind
+	Flow  FlowID
+	Links []LinkID // path for OpStart / OpSetPath
+	Value float64  // demand, weight or capacity
+	Link  LinkID   // target of OpSetLinkCapacity
+	Tag   string
+}
+
+// pathOf resolves a recorded link-ID sequence back to a Path.
+func (t *Topology) pathOf(ids []LinkID) (Path, error) {
+	p := make(Path, len(ids))
+	for i, id := range ids {
+		l := t.Link(id)
+		if l == nil {
+			return nil, fmt.Errorf("netsim: replay references unknown link %d", id)
+		}
+		p[i] = l
+	}
+	return p, nil
+}
+
+// Replay applies a SharedNetwork op log to a fresh serial Network built on
+// an identical topology. Flow IDs are re-assigned by n in the same order
+// they were assigned during the recorded run; Replay verifies they match,
+// which guards against replaying onto a non-fresh network.
+func Replay(n *Network, ops []Op) error {
+	handles := make(map[FlowID]*Flow)
+	for i, op := range ops {
+		switch op.Kind {
+		case OpStart:
+			p, err := n.topo.pathOf(op.Links)
+			if err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+			f := n.StartFlow(p, op.Value, op.Tag)
+			if f.ID != op.Flow {
+				return fmt.Errorf("op %d: replay assigned flow %d, log has %d (network not fresh?)", i, f.ID, op.Flow)
+			}
+			handles[f.ID] = f
+		case OpStop:
+			n.StopFlow(handles[op.Flow])
+		case OpSetDemand:
+			n.SetDemand(handles[op.Flow], op.Value)
+		case OpSetWeight:
+			n.SetWeight(handles[op.Flow], op.Value)
+		case OpSetPath:
+			p, err := n.topo.pathOf(op.Links)
+			if err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+			n.SetPath(handles[op.Flow], p)
+		case OpSetLinkCapacity:
+			n.SetLinkCapacity(op.Link, op.Value)
+		default:
+			return fmt.Errorf("op %d: unknown kind %v", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// SharedConfig configures a SharedNetwork.
+type SharedConfig struct {
+	// Queue is the command channel capacity (backpressure bound for
+	// writers). Zero means DefaultSharedQueue.
+	Queue int
+	// Deterministic buffers mutations instead of applying them on arrival:
+	// nothing commits until Commit(), which applies the buffered window
+	// sorted by (driver, per-driver sequence). Concurrent drivers that
+	// synchronize on Commit barriers therefore produce bit-identical runs
+	// regardless of goroutine scheduling. In this mode mutation calls
+	// return before their op is applied: a StartFlow handle's ID and Rate
+	// are unspecified until the next Commit, and reads see the previous
+	// commit's snapshot.
+	Deterministic bool
+	// Record keeps the op log (Log), enabling Replay-based differential
+	// checks and op-sequence export.
+	Record bool
+}
+
+// DefaultSharedQueue is the command channel capacity when SharedConfig.Queue
+// is zero.
+const DefaultSharedQueue = 128
+
+type cmdKind uint8
+
+const (
+	cmdOp cmdKind = iota
+	cmdBatch
+	cmdCommit
+	cmdClose
+)
+
+type sharedCmd struct {
+	kind   cmdKind
+	op     Op             // parameters for cmdOp (Flow field unset until apply)
+	flow   *Flow          // target handle; for OpStart, the placeholder to attach
+	path   Path           // resolved path for OpStart / OpSetPath
+	fn     func(*Network) // cmdBatch body
+	driver uint64
+	seq    uint64
+	reply  chan struct{} // closed by the owner when the command is done; nil for buffered det-mode ops
+}
+
+// SharedNetwork makes one Network drivable from many goroutines without a
+// lock on the read path. A single owner goroutine has exclusive access to
+// the Network and drains a bounded command channel; every mutation is a
+// command carrying the caller's *Flow handle, so callers keep the same
+// handles and (in the default immediate mode) the same synchronous
+// semantics as the serial API. At every commit the owner publishes an
+// immutable *Snapshot through an atomic pointer; Snapshot() is one atomic
+// load, so readers never block writers and writers never block readers.
+//
+// Two modes:
+//
+//   - Immediate (default): each mutation applies and commits before the
+//     call returns, exactly like the serial Network, just serialized
+//     through the owner. Safe for any number of concurrent writers;
+//     the interleaving (and thus flow-ID assignment) follows arrival
+//     order, so distinct runs may differ — the op log still makes any
+//     single run exactly replayable.
+//
+//   - Deterministic (SharedConfig.Deterministic): mutations buffer into a
+//     window and Commit() applies the window as one batch, ordered by
+//     (driver ID, per-driver sequence). Give each concurrent goroutine its
+//     own Driver and synchronize goroutines with the Commit barrier, and a
+//     run's rates, flow IDs and op log are bit-identical across executions
+//     regardless of scheduling.
+//
+// Callers must not touch the inner Network directly between NewShared and
+// Close; Batch lends it out on the owner goroutine for compound mutations.
+type SharedNetwork struct {
+	net  *Network
+	cfg  SharedConfig
+	cmds chan *sharedCmd
+	snap atomic.Pointer[Snapshot]
+	done chan struct{}
+
+	closed atomic.Bool
+	seq0   atomic.Uint64 // op sequence for driver 0 (the SharedNetwork's own methods)
+
+	// Owner-goroutine state.
+	window      []*sharedCmd // deterministic mode: ops buffered until Commit
+	log         []Op
+	logComplete bool
+	pubSeq      uint64
+}
+
+// NewShared wraps a serial Network and starts the owner goroutine, taking
+// ownership of n (the caller must not use n directly afterwards). The
+// initial snapshot reflects n's state at handoff, so n may be pre-populated
+// serially before sharing.
+func NewShared(n *Network, cfg SharedConfig) *SharedNetwork {
+	if cfg.Queue <= 0 {
+		cfg.Queue = DefaultSharedQueue
+	}
+	s := &SharedNetwork{
+		net:         n,
+		cfg:         cfg,
+		cmds:        make(chan *sharedCmd, cfg.Queue),
+		done:        make(chan struct{}),
+		logComplete: true,
+	}
+	s.snap.Store(n.Snapshot())
+	go s.run()
+	return s
+}
+
+// Network returns the inner serial network. Only safe before the first
+// concurrent use or after Close; it exists so tests and post-run analysis
+// can inspect final state exactly.
+func (s *SharedNetwork) Network() *Network { return s.net }
+
+// Snapshot returns the latest published read snapshot: one atomic load,
+// never nil, safe from any goroutine.
+func (s *SharedNetwork) Snapshot() *Snapshot { return s.snap.Load() }
+
+// --- Reader: every read is served from the latest snapshot -----------------
+
+// LinkRate returns the total allocated rate on a link at the last commit.
+func (s *SharedNetwork) LinkRate(id LinkID) float64 { return s.Snapshot().LinkRate(id) }
+
+// Utilization returns allocated/capacity for a link at the last commit.
+func (s *SharedNetwork) Utilization(id LinkID) float64 { return s.Snapshot().Utilization(id) }
+
+// Congestion classifies a link's utilization at the last commit.
+func (s *SharedNetwork) Congestion(id LinkID) CongestionLevel { return s.Snapshot().Congestion(id) }
+
+// Headroom returns a link's unallocated capacity at the last commit.
+func (s *SharedNetwork) Headroom(id LinkID) float64 { return s.Snapshot().Headroom(id) }
+
+// QueueDelay estimates a link's queueing delay at the last commit.
+func (s *SharedNetwork) QueueDelay(id LinkID) time.Duration { return s.Snapshot().QueueDelay(id) }
+
+// PathRTT returns a path's round-trip time at the last commit.
+func (s *SharedNetwork) PathRTT(p Path) time.Duration { return s.Snapshot().PathRTT(p) }
+
+// LossRate estimates a link's loss probability at the last commit.
+func (s *SharedNetwork) LossRate(id LinkID) float64 { return s.Snapshot().LossRate(id) }
+
+// PathLoss returns a path's combined loss probability at the last commit.
+func (s *SharedNetwork) PathLoss(p Path) float64 { return s.Snapshot().PathLoss(p) }
+
+// FlowsOn returns the number of flows crossing a link at the last commit.
+func (s *SharedNetwork) FlowsOn(id LinkID) int { return s.Snapshot().FlowsOn(id) }
+
+// ActiveFlowsOn returns the number of positive-demand flows on a link at
+// the last commit.
+func (s *SharedNetwork) ActiveFlowsOn(id LinkID) int { return s.Snapshot().ActiveFlowsOn(id) }
+
+// NumFlows returns the number of active flows at the last commit.
+func (s *SharedNetwork) NumFlows() int { return s.Snapshot().NumFlows() }
+
+// Stats returns the allocator work counters at the last commit.
+func (s *SharedNetwork) Stats() Stats { return s.Snapshot().Stats() }
+
+// --- Write surface ----------------------------------------------------------
+
+// StartFlow attaches a flow, like Network.StartFlow. In immediate mode the
+// returned handle is fully attached (ID and Rate valid) when the call
+// returns; in deterministic mode it is a placeholder the next Commit
+// attaches. The path is validated in the calling goroutine so a scenario
+// bug panics the caller, not the owner.
+func (s *SharedNetwork) StartFlow(path Path, demand float64, tag string) *Flow {
+	return s.startFlow(path, demand, tag, 0, s.seq0.Add(1))
+}
+
+// StopFlow detaches a flow. Unknown or already-stopped flows are a no-op.
+func (s *SharedNetwork) StopFlow(f *Flow) {
+	s.flowOp(Op{Kind: OpStop}, f, nil, 0, s.seq0.Add(1))
+}
+
+// SetDemand updates a flow's demand ceiling.
+func (s *SharedNetwork) SetDemand(f *Flow, demand float64) {
+	s.flowOp(Op{Kind: OpSetDemand, Value: demand}, f, nil, 0, s.seq0.Add(1))
+}
+
+// SetWeight updates a flow's fair-share weight.
+func (s *SharedNetwork) SetWeight(f *Flow, weight float64) {
+	s.flowOp(Op{Kind: OpSetWeight, Value: weight}, f, nil, 0, s.seq0.Add(1))
+}
+
+// SetPath re-routes a flow. The path is validated caller-side.
+func (s *SharedNetwork) SetPath(f *Flow, path Path) {
+	if !path.Valid("", "") {
+		panic(fmt.Sprintf("netsim: disconnected path %v", path))
+	}
+	s.flowOp(Op{Kind: OpSetPath}, f, path, 0, s.seq0.Add(1))
+}
+
+// SetLinkCapacity changes a link's capacity. The link and capacity are
+// validated caller-side (the topology's link set is immutable); the
+// equal-capacity no-op check stays owner-side where reading Capacity is
+// race-free.
+func (s *SharedNetwork) SetLinkCapacity(id LinkID, capacity float64) {
+	s.linkOp(id, capacity, 0, s.seq0.Add(1))
+}
+
+// Batch runs fn on the owner goroutine with exclusive access to the inner
+// Network, committing once when fn returns — the compound-mutation escape
+// hatch for control loops. fn must use the passed Network, not the
+// SharedNetwork (calling back in would deadlock). A Batch's mutations are
+// opaque to the op log, so Log reports the log incomplete after one. In
+// deterministic mode the batch is buffered like any op and fn runs at the
+// next Commit.
+func (s *SharedNetwork) Batch(fn func(*Network)) {
+	c := &sharedCmd{kind: cmdBatch, fn: fn, driver: 0, seq: s.seq0.Add(1)}
+	if s.cfg.Deterministic {
+		s.send(c)
+		return
+	}
+	c.reply = make(chan struct{})
+	s.send(c)
+	<-c.reply
+}
+
+// Commit is a synchronization barrier. In deterministic mode it applies the
+// buffered window — sorted by (driver, sequence) — as one batch and
+// publishes the resulting snapshot. In immediate mode it just republishes
+// (every mutation already committed); it still serves as a fence: when
+// Commit returns, every command sent before it has been applied.
+func (s *SharedNetwork) Commit() {
+	c := &sharedCmd{kind: cmdCommit, reply: make(chan struct{})}
+	s.send(c)
+	<-c.reply
+}
+
+// Close commits any buffered window, publishes a final snapshot, stops the
+// owner goroutine and returns the inner Network for serial inspection.
+// Callers must quiesce writers first: a mutation issued concurrently with
+// (or after) Close may panic or block forever. Close is idempotent.
+func (s *SharedNetwork) Close() *Network {
+	if s.closed.Swap(true) {
+		<-s.done
+		return s.net
+	}
+	c := &sharedCmd{kind: cmdClose, reply: make(chan struct{})}
+	s.cmds <- c
+	<-c.reply
+	<-s.done
+	return s.net
+}
+
+// Log returns the recorded op log and whether it is complete (no opaque
+// Batch diluted it). Only valid after Close; it panics otherwise, since the
+// log belongs to the owner goroutine while it runs. Requires
+// SharedConfig.Record.
+func (s *SharedNetwork) Log() ([]Op, bool) {
+	if !s.closed.Load() {
+		panic("netsim: SharedNetwork.Log before Close")
+	}
+	<-s.done
+	return s.log, s.logComplete
+}
+
+// Driver returns a command handle with its own deterministic op sequence.
+// In deterministic mode, give each concurrent goroutine a distinct driver
+// ID (≥1; 0 is the SharedNetwork's own methods): the Commit sort key is
+// (driver ID, issue order within the driver), which no scheduler
+// interleaving can perturb. A Driver must not be shared between goroutines.
+func (s *SharedNetwork) Driver(id uint64) *Driver { return &Driver{s: s, id: id} }
+
+// Driver issues ops on behalf of one logical writer, stamping each with the
+// driver's ID and a local sequence number. See SharedNetwork.Driver.
+type Driver struct {
+	s   *SharedNetwork
+	id  uint64
+	seq uint64
+}
+
+func (d *Driver) next() uint64 { d.seq++; return d.seq }
+
+// StartFlow is SharedNetwork.StartFlow stamped with this driver's order.
+func (d *Driver) StartFlow(path Path, demand float64, tag string) *Flow {
+	return d.s.startFlow(path, demand, tag, d.id, d.next())
+}
+
+// StopFlow is SharedNetwork.StopFlow stamped with this driver's order.
+func (d *Driver) StopFlow(f *Flow) {
+	d.s.flowOp(Op{Kind: OpStop}, f, nil, d.id, d.next())
+}
+
+// SetDemand is SharedNetwork.SetDemand stamped with this driver's order.
+func (d *Driver) SetDemand(f *Flow, demand float64) {
+	d.s.flowOp(Op{Kind: OpSetDemand, Value: demand}, f, nil, d.id, d.next())
+}
+
+// SetWeight is SharedNetwork.SetWeight stamped with this driver's order.
+func (d *Driver) SetWeight(f *Flow, weight float64) {
+	d.s.flowOp(Op{Kind: OpSetWeight, Value: weight}, f, nil, d.id, d.next())
+}
+
+// SetPath is SharedNetwork.SetPath stamped with this driver's order.
+func (d *Driver) SetPath(f *Flow, path Path) {
+	if !path.Valid("", "") {
+		panic(fmt.Sprintf("netsim: disconnected path %v", path))
+	}
+	d.s.flowOp(Op{Kind: OpSetPath}, f, path, d.id, d.next())
+}
+
+// SetLinkCapacity is SharedNetwork.SetLinkCapacity stamped with this
+// driver's order.
+func (d *Driver) SetLinkCapacity(id LinkID, capacity float64) {
+	d.s.linkOp(id, capacity, d.id, d.next())
+}
+
+// --- Command plumbing -------------------------------------------------------
+
+func (s *SharedNetwork) send(c *sharedCmd) {
+	if s.closed.Load() {
+		panic("netsim: SharedNetwork used after Close")
+	}
+	s.cmds <- c
+}
+
+// enqueue ships one mutation: buffered (fire into the window) in
+// deterministic mode, synchronous in immediate mode.
+func (s *SharedNetwork) enqueue(c *sharedCmd) {
+	if s.cfg.Deterministic {
+		s.send(c)
+		return
+	}
+	c.reply = make(chan struct{})
+	s.send(c)
+	<-c.reply
+}
+
+func (s *SharedNetwork) startFlow(path Path, demand float64, tag string, driver, seq uint64) *Flow {
+	if !path.Valid("", "") {
+		panic(fmt.Sprintf("netsim: disconnected path %v", path))
+	}
+	f := &Flow{}
+	s.enqueue(&sharedCmd{
+		kind: cmdOp, op: Op{Kind: OpStart, Value: demand, Tag: tag},
+		flow: f, path: path, driver: driver, seq: seq,
+	})
+	return f
+}
+
+func (s *SharedNetwork) flowOp(op Op, f *Flow, path Path, driver, seq uint64) {
+	s.enqueue(&sharedCmd{kind: cmdOp, op: op, flow: f, path: path, driver: driver, seq: seq})
+}
+
+func (s *SharedNetwork) linkOp(id LinkID, capacity float64, driver, seq uint64) {
+	l := s.net.topo.Link(id)
+	if l == nil {
+		panic(fmt.Sprintf("netsim: SetLinkCapacity on unknown link %d", id))
+	}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive capacity %v for link %s->%s", capacity, l.From, l.To))
+	}
+	s.enqueue(&sharedCmd{
+		kind: cmdOp, op: Op{Kind: OpSetLinkCapacity, Link: id, Value: capacity},
+		driver: driver, seq: seq,
+	})
+}
+
+// --- Owner goroutine --------------------------------------------------------
+
+func (s *SharedNetwork) run() {
+	defer close(s.done)
+	for c := range s.cmds {
+		switch c.kind {
+		case cmdOp:
+			if s.cfg.Deterministic {
+				s.window = append(s.window, c)
+				continue
+			}
+			s.apply(c)
+			s.publish()
+			close(c.reply)
+		case cmdBatch:
+			if s.cfg.Deterministic {
+				s.window = append(s.window, c)
+				continue
+			}
+			s.runBatch(c)
+			s.publish()
+			close(c.reply)
+		case cmdCommit:
+			s.commitWindow()
+			s.publish()
+			close(c.reply)
+		case cmdClose:
+			s.commitWindow()
+			s.publish()
+			close(c.reply)
+			return
+		}
+	}
+}
+
+// commitWindow applies the deterministic window, sorted by (driver, seq),
+// as one batch. A no-op when the window is empty or in immediate mode.
+func (s *SharedNetwork) commitWindow() {
+	if len(s.window) == 0 {
+		return
+	}
+	sort.SliceStable(s.window, func(i, j int) bool {
+		if s.window[i].driver != s.window[j].driver {
+			return s.window[i].driver < s.window[j].driver
+		}
+		return s.window[i].seq < s.window[j].seq
+	})
+	s.net.Batch(func() {
+		for _, c := range s.window {
+			if c.kind == cmdBatch {
+				s.runBatch(c)
+				continue
+			}
+			s.apply(c)
+		}
+	})
+	s.window = s.window[:0]
+}
+
+func (s *SharedNetwork) runBatch(c *sharedCmd) {
+	if s.cfg.Record {
+		s.logComplete = false
+	}
+	s.net.Batch(func() { c.fn(s.net) })
+}
+
+// apply performs one mutation on the inner network and records it. Ops on
+// detached flows are no-ops and are not recorded (their handles may carry a
+// stale or zero ID that would corrupt a replay).
+func (s *SharedNetwork) apply(c *sharedCmd) {
+	n := s.net
+	switch c.op.Kind {
+	case OpStart:
+		n.startFlowAs(c.flow, c.path, c.op.Value, c.op.Tag)
+		s.record(Op{Kind: OpStart, Flow: c.flow.ID, Links: linkIDs(c.path), Value: c.op.Value, Tag: c.op.Tag})
+	case OpStop:
+		if n.attached(c.flow) {
+			s.record(Op{Kind: OpStop, Flow: c.flow.ID})
+		}
+		n.StopFlow(c.flow)
+	case OpSetDemand:
+		if n.attached(c.flow) {
+			s.record(Op{Kind: OpSetDemand, Flow: c.flow.ID, Value: c.op.Value})
+		}
+		n.SetDemand(c.flow, c.op.Value)
+	case OpSetWeight:
+		if n.attached(c.flow) {
+			s.record(Op{Kind: OpSetWeight, Flow: c.flow.ID, Value: c.op.Value})
+		}
+		n.SetWeight(c.flow, c.op.Value)
+	case OpSetPath:
+		if n.attached(c.flow) {
+			s.record(Op{Kind: OpSetPath, Flow: c.flow.ID, Links: linkIDs(c.path)})
+		}
+		n.SetPath(c.flow, c.path)
+	case OpSetLinkCapacity:
+		s.record(Op{Kind: OpSetLinkCapacity, Link: c.op.Link, Value: c.op.Value})
+		n.SetLinkCapacity(c.op.Link, c.op.Value)
+	}
+}
+
+func (s *SharedNetwork) record(op Op) {
+	if s.cfg.Record {
+		s.log = append(s.log, op)
+	}
+}
+
+func (s *SharedNetwork) publish() {
+	s.pubSeq++
+	s.snap.Store(s.net.snapshotSeq(s.pubSeq))
+}
+
+func linkIDs(p Path) []LinkID {
+	ids := make([]LinkID, len(p))
+	for i, l := range p {
+		ids[i] = l.ID
+	}
+	return ids
+}

@@ -1,0 +1,273 @@
+package netsim
+
+import "time"
+
+// Reader is the read surface shared by the live *Network, an immutable
+// *Snapshot of it, and a *SharedNetwork (which serves every read from its
+// latest published snapshot). Control loops, the I2A looking glass and the
+// ISP report code are written against Reader so the same logic runs
+// single-threaded over a Network or lock-free over a snapshot.
+type Reader interface {
+	LinkRate(LinkID) float64
+	Utilization(LinkID) float64
+	Congestion(LinkID) CongestionLevel
+	Headroom(LinkID) float64
+	QueueDelay(LinkID) time.Duration
+	PathRTT(Path) time.Duration
+	LossRate(LinkID) float64
+	PathLoss(Path) float64
+	FlowsOn(LinkID) int
+	ActiveFlowsOn(LinkID) int
+	NumFlows() int
+	Stats() Stats
+}
+
+var (
+	_ Reader = (*Network)(nil)
+	_ Reader = (*Snapshot)(nil)
+	_ Reader = (*SharedNetwork)(nil)
+)
+
+// Shared read-model formulas. Network and Snapshot answer every derived
+// read (utilization, congestion class, queue delay, loss) through these
+// helpers so the two surfaces cannot drift.
+
+func utilizationOf(rate, capacity float64) float64 {
+	if capacity <= 0 {
+		return 0
+	}
+	u := rate / capacity
+	if u > 1 {
+		u = 1 // numerical safety; allocation never exceeds capacity
+	}
+	return u
+}
+
+// queueDelayOf estimates the queueing delay added by a link at utilization
+// u, using a capped M/M/1-style growth curve: delay rises as util/(1-util),
+// capped at 50× the propagation delay (a bufferbloat bound).
+func queueDelayOf(u float64, base time.Duration) time.Duration {
+	if u >= 0.999 {
+		u = 0.999
+	}
+	if base == 0 {
+		base = time.Millisecond
+	}
+	q := time.Duration(float64(base) * 0.5 * u / (1 - u))
+	if max := 50 * base; q > max {
+		q = max
+	}
+	return q
+}
+
+// lossRateOf estimates the packet loss probability at utilization u: zero
+// below 90%, rising quadratically to 5% at full utilization.
+func lossRateOf(u float64) float64 {
+	if u <= 0.9 {
+		return 0
+	}
+	x := (u - 0.9) / 0.1
+	return 0.05 * x * x
+}
+
+// congestionOf classifies utilization for I2A export.
+func congestionOf(u float64) CongestionLevel {
+	switch {
+	case u >= 0.98:
+		return CongestionSevere
+	case u >= 0.90:
+		return CongestionHigh
+	case u >= 0.70:
+		return CongestionModerate
+	default:
+		return CongestionNone
+	}
+}
+
+// FlowView is a flow's state frozen into a Snapshot.
+type FlowView struct {
+	ID     FlowID
+	Rate   float64
+	Demand float64
+	Weight float64
+	Tag    string
+}
+
+// Snapshot is an immutable copy of a Network's read surface: per-link rates
+// and capacities, per-flow allocations, and the allocator work counters.
+// It is safe for unsynchronized use from any number of goroutines and
+// answers every Reader query without touching the live network — this is
+// the value a SharedNetwork publishes through its atomic pointer at each
+// commit, and the one canonical read model a multi-process cluster mode
+// can serialize.
+//
+// Path-shaped queries (PathRTT, PathLoss) index the snapshot's arrays by
+// the path's link IDs; the *Link pointers themselves are only read for ID
+// and propagation delay, both immutable after topology construction.
+type Snapshot struct {
+	// Seq is the publication sequence number: 0 for a snapshot taken
+	// directly off a Network, and a strictly increasing commit counter for
+	// snapshots published by a SharedNetwork.
+	Seq uint64
+
+	linkRate []float64
+	capacity []float64
+	delay    []time.Duration
+	flowsOn  []int32
+	activeOn []int32
+	flows    map[FlowID]FlowView
+	stats    Stats
+}
+
+// Snapshot freezes the network's current read surface. O(links + flows).
+func (n *Network) Snapshot() *Snapshot { return n.snapshotSeq(0) }
+
+func (n *Network) snapshotSeq(seq uint64) *Snapshot {
+	nl := n.topo.NumLinks()
+	s := &Snapshot{
+		Seq:      seq,
+		linkRate: make([]float64, nl),
+		capacity: make([]float64, nl),
+		delay:    make([]time.Duration, nl),
+		flowsOn:  make([]int32, nl),
+		activeOn: make([]int32, nl),
+		flows:    make(map[FlowID]FlowView, len(n.flows)),
+		stats:    n.Stats(),
+	}
+	copy(s.linkRate, n.linkRate)
+	for id, l := range n.topo.links {
+		s.capacity[id] = l.Capacity
+		s.delay[id] = l.Delay
+		s.flowsOn[id] = int32(len(n.linkFlows[id]))
+		for _, f := range n.linkFlows[id] {
+			if f.Demand > 0 {
+				s.activeOn[id]++
+			}
+		}
+	}
+	for id, f := range n.flows {
+		s.flows[id] = FlowView{ID: id, Rate: f.Rate, Demand: f.Demand, Weight: f.Weight, Tag: f.Tag}
+	}
+	return s
+}
+
+func (s *Snapshot) inRange(id LinkID) bool {
+	return int(id) >= 0 && int(id) < len(s.linkRate)
+}
+
+// LinkRate returns the total allocated rate on a link in bits/s.
+func (s *Snapshot) LinkRate(id LinkID) float64 {
+	if !s.inRange(id) {
+		return 0
+	}
+	return s.linkRate[id]
+}
+
+// Utilization returns allocated/capacity for a link, in [0,1].
+func (s *Snapshot) Utilization(id LinkID) float64 {
+	if !s.inRange(id) {
+		return 0
+	}
+	return utilizationOf(s.linkRate[id], s.capacity[id])
+}
+
+// Congestion classifies the link's utilization at snapshot time.
+func (s *Snapshot) Congestion(id LinkID) CongestionLevel {
+	return congestionOf(s.Utilization(id))
+}
+
+// Capacity returns a link's capacity at snapshot time in bits/s (capacity
+// is mutable at runtime via SetLinkCapacity, so it is frozen per snapshot).
+func (s *Snapshot) Capacity(id LinkID) float64 {
+	if !s.inRange(id) {
+		return 0
+	}
+	return s.capacity[id]
+}
+
+// Headroom returns the unallocated capacity of a link in bits/s.
+func (s *Snapshot) Headroom(id LinkID) float64 {
+	if !s.inRange(id) {
+		return 0
+	}
+	h := s.capacity[id] - s.linkRate[id]
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// QueueDelay estimates the queueing delay added by a link at its
+// snapshot-time utilization.
+func (s *Snapshot) QueueDelay(id LinkID) time.Duration {
+	if !s.inRange(id) {
+		return 0
+	}
+	return queueDelayOf(s.Utilization(id), s.delay[id])
+}
+
+// PathRTT returns the round-trip time of a path including forward-direction
+// queueing delay at snapshot-time utilizations.
+func (s *Snapshot) PathRTT(p Path) time.Duration {
+	rtt := 2 * p.PropDelay()
+	for _, l := range p {
+		rtt += s.QueueDelay(l.ID)
+	}
+	return rtt
+}
+
+// LossRate estimates the packet loss probability on a link at its
+// snapshot-time utilization.
+func (s *Snapshot) LossRate(id LinkID) float64 {
+	return lossRateOf(s.Utilization(id))
+}
+
+// PathLoss returns the combined loss probability along a path.
+func (s *Snapshot) PathLoss(p Path) float64 {
+	keep := 1.0
+	for _, l := range p {
+		keep *= 1 - s.LossRate(l.ID)
+	}
+	return 1 - keep
+}
+
+// FlowsOn returns the number of flows crossing a link at snapshot time.
+func (s *Snapshot) FlowsOn(id LinkID) int {
+	if !s.inRange(id) {
+		return 0
+	}
+	return int(s.flowsOn[id])
+}
+
+// ActiveFlowsOn returns the number of flows with positive demand crossing a
+// link at snapshot time.
+func (s *Snapshot) ActiveFlowsOn(id LinkID) int {
+	if !s.inRange(id) {
+		return 0
+	}
+	return int(s.activeOn[id])
+}
+
+// NumFlows returns the number of active flows at snapshot time.
+func (s *Snapshot) NumFlows() int { return len(s.flows) }
+
+// NumLinks returns the number of links the snapshot covers.
+func (s *Snapshot) NumLinks() int { return len(s.linkRate) }
+
+// Flow returns the frozen state of one flow, if it was live at snapshot
+// time.
+func (s *Snapshot) Flow(id FlowID) (FlowView, bool) {
+	v, ok := s.flows[id]
+	return v, ok
+}
+
+// Flows calls fn for every flow live at snapshot time, in unspecified
+// order.
+func (s *Snapshot) Flows(fn func(FlowView)) {
+	for _, v := range s.flows {
+		fn(v)
+	}
+}
+
+// Stats returns the allocator work counters at snapshot time.
+func (s *Snapshot) Stats() Stats { return s.stats }

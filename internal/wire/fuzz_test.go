@@ -20,6 +20,13 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte(`{"version":"eona/1","type":"bogus","payload":{}}`))
 	f.Add([]byte(`{"version":"eona/99","type":"i2a.attribution","payload":{}}`))
+	// Version skew: newer minors decode, other majors and junk do not.
+	f.Add([]byte(`{"version":"eona/1.7","schema":3,"type":"i2a.attribution","payload":{}}`))
+	f.Add([]byte(`{"version":"eona/1.","type":"i2a.attribution","payload":{}}`))
+	f.Add([]byte(`{"version":"eona/1.x","type":"i2a.attribution","payload":{}}`))
+	f.Add([]byte(`{"version":"eona/2","type":"i2a.attribution","payload":{}}`))
+	// Unknown envelope fields from a newer producer are tolerated.
+	f.Add([]byte(`{"version":"eona/1","type":"error","payload":{},"trace_id":"abc","hop_count":2}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(``))
 	f.Add([]byte(`null`))
@@ -29,8 +36,11 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if env.Version != Version {
+		if !versionAccepted(env.Version) {
 			t.Fatalf("accepted version %q", env.Version)
+		}
+		if env.SchemaRev() < 1 {
+			t.Fatalf("accepted schema revision %d", env.SchemaRev())
 		}
 		if !knownTypes[env.Type] {
 			t.Fatalf("accepted unknown type %q", env.Type)

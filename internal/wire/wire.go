@@ -11,10 +11,32 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Version is the protocol version this implementation speaks.
 const Version = "eona/1"
+
+// versionAccepted reports whether v names a protocol this implementation
+// can decode: the same major version at any minor revision ("eona/1",
+// "eona/1.7"). Minor revisions only add fields — which payload decoding
+// already ignores — so refusing them would break rolling upgrades where
+// one side deploys first. A different major ("eona/2") is still rejected.
+func versionAccepted(v string) bool {
+	if v == Version {
+		return true
+	}
+	minor, ok := strings.CutPrefix(v, Version+".")
+	if !ok || minor == "" {
+		return false
+	}
+	for i := 0; i < len(minor); i++ {
+		if minor[i] < '0' || minor[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
 
 // MessageType tags the payload inside an envelope.
 type MessageType string
@@ -44,14 +66,29 @@ var knownTypes = map[MessageType]bool{
 	TypeError:            true,
 }
 
-// Envelope is the outer message framing.
+// Envelope is the outer message framing. Decoding tolerates unknown
+// envelope fields (a newer minor revision may add some), an absent Schema,
+// and any same-major Version string.
 type Envelope struct {
 	Version string      `json:"version"`
 	Type    MessageType `json:"type"`
+	// Schema is the envelope's minor schema revision. Absent on the wire
+	// (0) means the original revision 1; decoders never reject a newer
+	// value, since minor revisions only add fields. Read it via SchemaRev.
+	Schema int `json:"schema,omitempty"`
 	// GeneratedAtMs is the producer's clock (virtual or wall) in
 	// milliseconds — consumers use it to judge staleness.
 	GeneratedAtMs int64           `json:"generated_at_ms"`
 	Payload       json.RawMessage `json:"payload"`
+}
+
+// SchemaRev returns the envelope's schema revision, mapping the legacy
+// absent/zero encoding to revision 1.
+func (e Envelope) SchemaRev() int {
+	if e.Schema <= 0 {
+		return 1
+	}
+	return e.Schema
 }
 
 // ErrorBody is the payload of a TypeError message.
@@ -89,7 +126,7 @@ func Decode(data []byte) (Envelope, error) {
 	if err := json.Unmarshal(data, &env); err != nil {
 		return Envelope{}, fmt.Errorf("wire: malformed envelope: %w", err)
 	}
-	if env.Version != Version {
+	if !versionAccepted(env.Version) {
 		return Envelope{}, fmt.Errorf("%w: %q", ErrVersion, env.Version)
 	}
 	if !knownTypes[env.Type] {

@@ -11,7 +11,7 @@ out="BENCH_$(date +%F).json"
 cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
 gomaxprocs="${GOMAXPROCS:-$cpus}"
 
-go test -run '^$' -bench 'Collector|Sharded|Realloc|Churn|Coalesc' -benchmem \
+go test -run '^$' -bench 'Collector|Sharded|Realloc|Churn|Coalesc|SharedRead' -benchmem \
 	-benchtime "$benchtime" ./internal/core/... ./internal/netsim/... ./internal/control/... |
 	awk -v date="$(date +%F)" -v goversion="$(go env GOVERSION)" \
 		-v gomaxprocs="$gomaxprocs" -v cpus="$cpus" '

@@ -11,7 +11,12 @@ fi
 go build ./...
 go vet ./...
 # Fast-fail on the concurrency-heavy packages (sharded collector, merge
-# primitives) and the allocator/control-loop packages (component registry,
-# reaction coalescing) before the full sweep.
-go test -race ./internal/core/... ./internal/agg/... ./internal/netsim/... ./internal/control/...
+# primitives, shared network + snapshots, looking-glass pollers) and the
+# allocator/control-loop packages (component registry, reaction coalescing)
+# before the full sweep.
+go test -race ./internal/core/... ./internal/agg/... ./internal/netsim/... \
+	./internal/control/... ./internal/lookingglass/...
+# The E7 shared-network driver arm: concurrent drivers against one owner
+# goroutine, hammered under the race detector.
+go test -race -run 'TestE7SharedDriverArm|TestE7DriverSweepSkips' ./internal/expt/
 go test -race ./...
