@@ -68,6 +68,7 @@ import (
 	"eona/internal/lookingglass"
 	"eona/internal/netsim"
 	"eona/internal/qoe"
+	"eona/internal/sim"
 	"eona/internal/wire"
 )
 
@@ -400,6 +401,31 @@ func NewNetwork(t *Topology) *Network { return netsim.NewNetwork(t) }
 // returns it.
 func NewSharedNetwork(n *Network, cfg SharedConfig) *SharedNetwork {
 	return netsim.NewShared(n, cfg)
+}
+
+// ---- The simulation engines (downstream what-if studies) ----
+
+type (
+	// SimEngine is the deterministic single-threaded discrete-event
+	// engine every experiment runs on.
+	SimEngine = sim.Engine
+	// SimParallelEngine is the multi-driver engine: partition engines
+	// advancing in lockstep over virtual instants, with a per-instant
+	// barrier for deterministic SharedNetwork commits. Worker count never
+	// changes results, only wall-clock.
+	SimParallelEngine = sim.ParallelEngine
+)
+
+// NewSimEngine returns a serial engine seeded with seed.
+func NewSimEngine(seed int64) *SimEngine { return sim.NewEngine(seed) }
+
+// NewSimParallelEngine returns a lockstep multi-driver engine: partitions
+// partition engines (partition p seeded seed+p) run by up to workers
+// goroutines per instant (0 = GOMAXPROCS). Pair it with a deterministic
+// SharedNetwork: give each partition its own Driver and call Commit from an
+// OnInstantEnd hook.
+func NewSimParallelEngine(seed int64, partitions, workers int) *SimParallelEngine {
+	return sim.NewParallel(seed, partitions, workers)
 }
 
 // Fault injection (E15 and downstream chaos studies): deterministic,

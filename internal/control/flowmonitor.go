@@ -1,0 +1,102 @@
+package control
+
+import (
+	"time"
+
+	"eona/internal/sim"
+)
+
+// FlowMonitorConfig parameterizes a FlowMonitor.
+type FlowMonitorConfig struct {
+	// CheckEvery is the monitoring period. Default 2s.
+	CheckEvery time.Duration
+	// StarvedBelow is the achieved/demanded rate ratio under which a check
+	// counts as starved. Default 0.9.
+	StarvedBelow float64
+	// Consecutive is how many starved checks in a row trigger a reaction.
+	// Default 2 — a single congested instant is noise, a streak is a signal.
+	Consecutive int
+	// Cooldown suppresses re-triggering after a reaction. Default 10s.
+	Cooldown time.Duration
+}
+
+func (c *FlowMonitorConfig) applyDefaults() {
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 2 * time.Second
+	}
+	if c.StarvedBelow == 0 {
+		c.StarvedBelow = 0.9
+	}
+	if c.Consecutive == 0 {
+		c.Consecutive = 2
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 10 * time.Second
+	}
+}
+
+// FlowMonitor watches one flow's achieved rate against its demand and fires
+// a reaction after a streak of starved checks. Unlike Monitor it is not
+// coupled to a player: it reads through two caller-supplied funcs, so a
+// partitioned scenario can hand it snapshot reads from a
+// netsim.SharedNetwork (safe from any goroutine) while the flow itself is
+// mutated elsewhere through per-partition Drivers. That makes it the
+// monitor-fleet building block for the multi-driver engine: a region's
+// monitors tick inside the region's sim partition and only observe
+// last-commit state.
+type FlowMonitor struct {
+	cfg    FlowMonitorConfig
+	rate   func() float64
+	demand func() float64
+	react  func(*FlowMonitor)
+
+	starved    int
+	mutedUntil time.Duration
+	stop       func()
+
+	// Triggers counts reactions fired.
+	Triggers int
+	// Checks counts monitor ticks, for test and table diagnostics.
+	Checks int
+}
+
+// NewFlowMonitor starts a monitor on e that reads the flow's achieved rate
+// and current demand through the given funcs. react runs inside the
+// simulation loop, on e's goroutine/partition. A zero-demand read counts as
+// healthy (the flow is idle, not starved).
+func NewFlowMonitor(e *sim.Engine, rate, demand func() float64, cfg FlowMonitorConfig, react func(*FlowMonitor)) *FlowMonitor {
+	cfg.applyDefaults()
+	m := &FlowMonitor{cfg: cfg, rate: rate, demand: demand, react: react}
+	m.stop = e.Every(cfg.CheckEvery, m.check)
+	return m
+}
+
+// Stop detaches the monitor; its pending tick is cancelled, not orphaned.
+func (m *FlowMonitor) Stop() {
+	if m.stop != nil {
+		m.stop()
+	}
+}
+
+// Starved reports the current streak of starved checks.
+func (m *FlowMonitor) Starved() int { return m.starved }
+
+func (m *FlowMonitor) check(e *sim.Engine) bool {
+	m.Checks++
+	d := m.demand()
+	if d <= 0 || m.rate() >= m.cfg.StarvedBelow*d {
+		m.starved = 0
+		return true
+	}
+	m.starved++
+	if e.Now() < m.mutedUntil || m.starved < m.cfg.Consecutive {
+		return true
+	}
+	m.Triggers++
+	m.mutedUntil = e.Now() + m.cfg.Cooldown
+	m.starved = 0
+	if m.react != nil {
+		m.react(m)
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"eona/internal/sim"
+)
+
+func TestFlowMonitorFiresOnStreak(t *testing.T) {
+	e := sim.NewEngine(1)
+	rate, demand := 100.0, 100.0
+	fired := 0
+	m := NewFlowMonitor(e,
+		func() float64 { return rate },
+		func() float64 { return demand },
+		FlowMonitorConfig{CheckEvery: time.Second, Consecutive: 2, Cooldown: 10 * time.Second},
+		func(*FlowMonitor) { fired++ })
+
+	// Healthy for 3s, then starved.
+	e.Schedule(3*time.Second+time.Millisecond, func(*sim.Engine) { rate = 10 })
+	e.Run(4 * time.Second)
+	if fired != 0 {
+		t.Fatalf("fired after one starved check, want streak of 2")
+	}
+	e.Run(5 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d after 2 starved checks, want 1", fired)
+	}
+
+	// Cooldown: still starved, but muted for 10s after the trigger.
+	e.Run(14 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d during cooldown, want 1", fired)
+	}
+	// Past the cooldown the streak rebuilds and fires again.
+	e.Run(20 * time.Second)
+	if fired != 2 {
+		t.Fatalf("fired = %d after cooldown, want 2", fired)
+	}
+	if m.Triggers != fired {
+		t.Errorf("Triggers = %d, want %d", m.Triggers, fired)
+	}
+}
+
+func TestFlowMonitorRecoveryResetsStreak(t *testing.T) {
+	e := sim.NewEngine(1)
+	rate, demand := 10.0, 100.0
+	m := NewFlowMonitor(e,
+		func() float64 { return rate },
+		func() float64 { return demand },
+		FlowMonitorConfig{CheckEvery: time.Second, Consecutive: 3},
+		nil)
+	// One starved check, then recovery before the streak completes.
+	e.Schedule(1500*time.Millisecond, func(*sim.Engine) { rate = 100 })
+	e.Run(5 * time.Second)
+	if m.Triggers != 0 {
+		t.Errorf("Triggers = %d after recovery mid-streak, want 0", m.Triggers)
+	}
+	if m.Starved() != 0 {
+		t.Errorf("streak = %d after recovery, want 0", m.Starved())
+	}
+}
+
+func TestFlowMonitorZeroDemandIsHealthy(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewFlowMonitor(e,
+		func() float64 { return 0 },
+		func() float64 { return 0 },
+		FlowMonitorConfig{CheckEvery: time.Second, Consecutive: 1},
+		nil)
+	e.Run(5 * time.Second)
+	if m.Triggers != 0 {
+		t.Errorf("Triggers = %d on idle flow, want 0", m.Triggers)
+	}
+}
+
+// Stop must cancel the pending tick outright: no dead event left to inflate
+// Len or drag the clock (the sim.Every regression this PR fixes).
+func TestFlowMonitorStopLeavesNoEvent(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewFlowMonitor(e,
+		func() float64 { return 0 },
+		func() float64 { return 1 },
+		FlowMonitorConfig{CheckEvery: time.Minute},
+		nil)
+	m.Stop()
+	if got := e.Len(); got != 0 {
+		t.Fatalf("Len after Stop = %d, want 0", got)
+	}
+	if end := e.RunUntilIdle(); end != 0 {
+		t.Errorf("idle clock = %v after Stop, want 0", end)
+	}
+	if m.Checks != 0 {
+		t.Errorf("Checks = %d after immediate Stop, want 0", m.Checks)
+	}
+}

@@ -49,6 +49,13 @@ type E7Config struct {
 	// disjoint subset of rails while a reader goroutine spins on published
 	// snapshots.
 	DriverCounts []int
+	// EngineWorkerCounts lists the worker counts to sweep for the
+	// multi-driver engine rows (default 1, 2, 4; nil uses the default,
+	// empty non-nil skips the sweep). Each row runs the full
+	// DefaultEngineArmConfig scenario — partitioned arrivals, monitors and
+	// faults in lockstep over a deterministic SharedNetwork — and must
+	// produce the workers=1 digest bit for bit.
+	EngineWorkerCounts []int
 }
 
 // E7DriverPoint is one shared-network measurement: mutation throughput
@@ -61,6 +68,21 @@ type E7DriverPoint struct {
 	// Speedup is PerSec over the direct serial-Network rate on the same
 	// workload (< 1 on one core: the rows price the command-channel hop).
 	Speedup float64
+}
+
+// E7EnginePoint is one multi-driver engine measurement: the full
+// partitioned scenario (DefaultEngineArmConfig) run with the given worker
+// count.
+type E7EnginePoint struct {
+	Workers int
+	// PerSec is engine events processed per wall-clock second.
+	PerSec float64
+	// Speedup is PerSec over the workers=1 run of the same scenario.
+	Speedup float64
+	// Identical reports whether this run's op-log/final-state digest
+	// matched the workers=1 reference — the determinism contract, checked
+	// on every sweep, not just in tests.
+	Identical bool
 }
 
 // E7ShardPoint is one cluster-mode measurement: ingest throughput with the
@@ -132,6 +154,9 @@ type E7Result struct {
 
 	// ShardPoints are the cluster-mode rows (one per swept shard count).
 	ShardPoints []E7ShardPoint
+	// EnginePoints are the multi-driver engine rows (one per swept worker
+	// count).
+	EnginePoints []E7EnginePoint
 	// Procs is runtime.GOMAXPROCS(0) at measurement time — shard speedups
 	// are bounded by it.
 	Procs int
@@ -392,6 +417,33 @@ func RunE7Config(cfg E7Config) E7Result {
 			res.DriverPoints = append(res.DriverPoints, pt)
 		}
 	}
+
+	// Multi-driver engine sweep: the whole partitioned scenario — arrivals,
+	// monitors, faults, per-instant Commit barrier — at each worker count,
+	// with every run's digest checked against the workers=1 reference.
+	workerCounts := cfg.EngineWorkerCounts
+	if workerCounts == nil {
+		workerCounts = []int{1, 2, 4}
+	}
+	if len(workerCounts) > 0 {
+		ref := RunEngineArm(DefaultEngineArmConfig(7, 1))
+		refPerSec := ref.EventsPerSec
+		for _, w := range workerCounts {
+			arm := ref
+			if w != 1 {
+				arm = RunEngineArm(DefaultEngineArmConfig(7, w))
+			}
+			pt := E7EnginePoint{
+				Workers:   w,
+				PerSec:    arm.EventsPerSec,
+				Identical: arm.Digest == ref.Digest,
+			}
+			if refPerSec > 0 {
+				pt.Speedup = arm.EventsPerSec / refPerSec
+			}
+			res.EnginePoints = append(res.EnginePoints, pt)
+		}
+	}
 	return res
 }
 
@@ -587,6 +639,15 @@ func (r E7Result) Table() *Table {
 				fmt.Sprintf("%.2f× vs direct serial; snapshot reader live", p.Speedup))
 		}
 	}
+	for _, p := range r.EnginePoints {
+		ident := "bit-identical to workers=1"
+		if !p.Identical {
+			ident = "DIGEST MISMATCH vs workers=1"
+		}
+		t.AddRow(fmt.Sprintf("multi-driver engine (%d workers)", p.Workers),
+			fmt.Sprintf("%.1fk ev/s", p.PerSec/1e3),
+			fmt.Sprintf("%.2f× vs 1 worker; %s", p.Speedup, ident))
+	}
 	if r.ReactUncoalescedPerSec > 0 {
 		t.AddRow("reaction churn (uncoalesced)",
 			fmt.Sprintf("%.1fk react/s", r.ReactUncoalescedPerSec/1e3),
@@ -602,8 +663,15 @@ func (r E7Result) Table() *Table {
 			fmt.Sprintf("cluster rows measured at GOMAXPROCS=%d; shard speedup is bounded by available cores", r.Procs))
 	}
 	if len(r.DriverPoints) > 0 {
+		note := fmt.Sprintf("driver rows measured at GOMAXPROCS=%d", r.Procs)
+		if r.Procs == 1 {
+			note += "; on one core they price the command-channel hop, not parallel speedup"
+		}
+		t.Notes = append(t.Notes, note)
+	}
+	if len(r.EnginePoints) > 0 {
 		t.Notes = append(t.Notes,
-			fmt.Sprintf("driver rows measured at GOMAXPROCS=%d; on one core they price the command-channel hop, not parallel speedup", r.Procs))
+			fmt.Sprintf("engine rows run the full partitioned scenario at GOMAXPROCS=%d; worker count never changes results (digest-checked), only wall-clock", r.Procs))
 	}
 	t.Verbose = append(t.Verbose,
 		fmt.Sprintf("registry churn stats: %s", statsLine(r.ChurnStats)),

@@ -122,38 +122,51 @@ type Target struct {
 	BaseBps float64
 }
 
-// Schedule installs the plan's link faults onto the engine. Every fault
-// instant (a Start or an End, possibly shared by several faults) becomes
-// one event whose capacity changes are committed in a single Batch — one
-// reallocation per instant. Faults at or beyond the run horizon simply
-// never fire. Unknown link names are an error: a plan that names links the
-// scenario does not have is a configuration bug, not a fault to inject.
-func (p *Plan) Schedule(eng *sim.Engine, net *netsim.Network, targets map[string]Target) error {
-	if p == nil {
-		return nil
-	}
-	type change struct {
-		id  netsim.LinkID
-		bps float64
-	}
-	at := map[time.Duration][]change{}
+// linkChange is one resolved capacity edit: set link id to bps.
+type linkChange struct {
+	id  netsim.LinkID
+	bps float64
+}
+
+// linkInstants resolves the plan's link faults against targets and groups
+// the capacity changes by instant (a fault's Start and End are each an
+// instant, possibly shared by several faults). Instants come back sorted.
+// Unknown link names are an error: a plan that names links the scenario
+// does not have is a configuration bug, not a fault to inject.
+func (p *Plan) linkInstants(targets map[string]Target) ([]time.Duration, map[time.Duration][]linkChange, error) {
+	at := map[time.Duration][]linkChange{}
 	for _, f := range p.LinkFaults {
 		tgt, ok := targets[f.Link]
 		if !ok {
-			return fmt.Errorf("faults: plan names unknown link %q", f.Link)
+			return nil, nil, fmt.Errorf("faults: plan names unknown link %q", f.Link)
 		}
 		degraded := tgt.BaseBps * f.Factor
 		if degraded < 1 {
 			degraded = 1 // netsim requires positive capacity
 		}
-		at[f.Start] = append(at[f.Start], change{tgt.ID, degraded})
-		at[f.End] = append(at[f.End], change{tgt.ID, tgt.BaseBps})
+		at[f.Start] = append(at[f.Start], linkChange{tgt.ID, degraded})
+		at[f.End] = append(at[f.End], linkChange{tgt.ID, tgt.BaseBps})
 	}
 	instants := make([]time.Duration, 0, len(at))
 	for t := range at {
 		instants = append(instants, t)
 	}
 	sort.Slice(instants, func(i, j int) bool { return instants[i] < instants[j] })
+	return instants, at, nil
+}
+
+// Schedule installs the plan's link faults onto the engine. Every fault
+// instant becomes one event whose capacity changes are committed in a
+// single Batch — one reallocation per instant. Faults at or beyond the run
+// horizon simply never fire.
+func (p *Plan) Schedule(eng *sim.Engine, net *netsim.Network, targets map[string]Target) error {
+	if p == nil {
+		return nil
+	}
+	instants, at, err := p.linkInstants(targets)
+	if err != nil {
+		return err
+	}
 	for _, t := range instants {
 		changes := at[t]
 		eng.ScheduleAt(t, func(*sim.Engine) {
@@ -162,6 +175,32 @@ func (p *Plan) Schedule(eng *sim.Engine, net *netsim.Network, targets map[string
 					net.SetLinkCapacity(c.id, c.bps)
 				}
 			})
+		})
+	}
+	return nil
+}
+
+// ScheduleDriver installs the plan's link faults onto the engine through a
+// netsim.Driver instead of a bare Network — the fault-schedule partition of
+// a multi-driver run. Each instant's capacity changes are stamped with the
+// driver's (driver, seq) identity; under a deterministic-mode SharedNetwork
+// they buffer until the per-instant barrier calls Commit, which applies the
+// whole instant's ops in canonical order and publishes one snapshot — the
+// multi-driver equivalent of Schedule's one-Batch-per-instant rule.
+func (p *Plan) ScheduleDriver(eng *sim.Engine, drv *netsim.Driver, targets map[string]Target) error {
+	if p == nil {
+		return nil
+	}
+	instants, at, err := p.linkInstants(targets)
+	if err != nil {
+		return err
+	}
+	for _, t := range instants {
+		changes := at[t]
+		eng.ScheduleAt(t, func(*sim.Engine) {
+			for _, c := range changes {
+				drv.SetLinkCapacity(c.id, c.bps)
+			}
 		})
 	}
 	return nil

@@ -151,3 +151,62 @@ func TestScheduleNilPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ScheduleDriver routes the same fault schedule through a netsim.Driver on
+// a deterministic SharedNetwork, committed once per instant by the
+// ParallelEngine barrier — and lands the network in the same final state as
+// the direct Schedule path.
+func TestScheduleDriverMatchesSchedule(t *testing.T) {
+	build := func() (*netsim.Topology, *netsim.Link, *netsim.Link) {
+		topo := netsim.NewTopology()
+		a := topo.AddLink("src", "mid", 100e6, time.Millisecond, "a")
+		b := topo.AddLink("mid", "dst", 100e6, time.Millisecond, "b")
+		return topo, a, b
+	}
+	plan := &Plan{LinkFaults: []LinkFault{
+		{Link: "a", Window: Window{Start: 10 * time.Second, End: 20 * time.Second}, Factor: 0.1},
+		{Link: "b", Window: Window{Start: 10 * time.Second, End: 30 * time.Second}, Factor: 0},
+	}}
+
+	// Reference: direct Schedule on a plain network, stopped mid-fault so
+	// the degraded state is what we compare.
+	topo1, a1, b1 := build()
+	net1 := netsim.NewNetwork(topo1)
+	eng1 := sim.NewEngine(1)
+	targets1 := map[string]Target{"a": {ID: a1.ID, BaseBps: 100e6}, "b": {ID: b1.ID, BaseBps: 100e6}}
+	if err := plan.Schedule(eng1, net1, targets1); err != nil {
+		t.Fatal(err)
+	}
+	eng1.Run(15 * time.Second)
+
+	// Driver path: deterministic SharedNetwork, ops buffered per instant,
+	// committed by the parallel engine's barrier.
+	topo2, a2, b2 := build()
+	shared := netsim.NewShared(netsim.NewNetwork(topo2), netsim.SharedConfig{Deterministic: true})
+	drv := shared.Driver(1)
+	pe := sim.NewParallel(1, 1, 1)
+	targets2 := map[string]Target{"a": {ID: a2.ID, BaseBps: 100e6}, "b": {ID: b2.ID, BaseBps: 100e6}}
+	if err := plan.ScheduleDriver(pe.Partition(0), drv, targets2); err != nil {
+		t.Fatal(err)
+	}
+	pe.OnInstantEnd(func(*sim.ParallelEngine) { shared.Commit() })
+	pe.Run(15 * time.Second)
+	shared.Close()
+
+	if a2.Capacity != a1.Capacity || b2.Capacity != b1.Capacity {
+		t.Errorf("driver path capacities (a=%v b=%v) differ from direct (a=%v b=%v)",
+			a2.Capacity, b2.Capacity, a1.Capacity, b1.Capacity)
+	}
+	if a2.Capacity != 10e6 || b2.Capacity != 1 {
+		t.Errorf("mid-fault capacities a=%v b=%v, want 10e6 and floor 1", a2.Capacity, b2.Capacity)
+	}
+}
+
+func TestScheduleDriverUnknownLink(t *testing.T) {
+	shared := netsim.NewShared(netsim.NewNetwork(netsim.NewTopology()), netsim.SharedConfig{})
+	defer shared.Close()
+	p := &Plan{LinkFaults: []LinkFault{{Link: "nope", Window: Window{Start: 1, End: 2}, Factor: 0.5}}}
+	if err := p.ScheduleDriver(sim.NewEngine(1), shared.Driver(1), map[string]Target{}); err == nil {
+		t.Fatal("unknown link name accepted")
+	}
+}

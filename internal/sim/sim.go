@@ -143,28 +143,39 @@ func (e *Engine) Cancel(ev *Event) {
 }
 
 // Every schedules fn to run every period, starting after the first period
-// elapses. The returned stop function cancels the ticker. If fn returns
-// false the ticker stops itself.
+// elapses. The returned stop function cancels the ticker — including the
+// already-queued next tick, so a stopped ticker leaves no dead event behind
+// to inflate Len, Processed, or the idle-run clock. If fn returns false the
+// ticker stops itself. Calling stop is idempotent; calling it from inside fn
+// suppresses the reschedule.
 func (e *Engine) Every(period time.Duration, fn func(*Engine) bool) (stop func()) {
 	if period <= 0 {
 		panic("sim: Every requires a positive period")
 	}
 	stopped := false
+	var pending *Event
 	var tick func(*Engine)
 	tick = func(en *Engine) {
 		if stopped {
 			return
 		}
+		pending = nil // this tick just fired
 		if !fn(en) {
 			stopped = true
 			return
 		}
-		if !stopped {
-			en.Schedule(period, tick)
+		if !stopped { // fn may have called stop
+			pending = en.Schedule(period, tick)
 		}
 	}
-	e.Schedule(period, tick)
-	return func() { stopped = true }
+	pending = e.Schedule(period, tick)
+	return func() {
+		stopped = true
+		if pending != nil {
+			e.Cancel(pending)
+			pending = nil
+		}
+	}
 }
 
 // Stop halts the run loop after the current event completes. Pending
@@ -199,6 +210,21 @@ func (e *Engine) flushTickEnd() {
 // clock would pass horizon (events at exactly horizon still fire). It
 // returns the virtual time at which processing stopped.
 func (e *Engine) Run(horizon Time) Time {
+	return e.run(horizon, true)
+}
+
+// RunUntilIdle processes events until none remain or Stop is called. Unlike
+// Run, draining the queue leaves the clock at the last processed event —
+// not at the sentinel horizon — so later Schedule calls keep working
+// instead of overflowing into an ErrPastEvent panic.
+func (e *Engine) RunUntilIdle() Time {
+	return e.run(Time(1<<63-1), false)
+}
+
+// run is the shared loop. advance controls whether a drained queue jumps
+// the clock forward to horizon (Run's contract) or leaves it at the last
+// processed event (RunUntilIdle's).
+func (e *Engine) run(horizon Time, advance bool) Time {
 	e.stopped = false
 	for !e.stopped {
 		// Tick boundary: no queued event remains at the current
@@ -223,13 +249,58 @@ func (e *Engine) Run(horizon Time) Time {
 		e.Processed++
 		next.fn(e)
 	}
-	if e.now < horizon && !e.stopped {
+	if advance && e.now < horizon && !e.stopped {
 		e.now = horizon
 	}
 	return e.now
 }
 
-// RunUntilIdle processes events until none remain or Stop is called.
-func (e *Engine) RunUntilIdle() Time {
-	return e.Run(Time(1<<63 - 1))
+// peek returns the time of the next live event, discarding cancelled events
+// from the head of the queue on the way. ok is false when no live event
+// remains queued.
+func (e *Engine) peek() (at Time, ok bool) {
+	for len(e.queue) > 0 && e.queue[0].cancelled {
+		heap.Pop(&e.queue)
+	}
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// hasWorkAt reports whether the engine has a queued event at exactly t, or
+// pending end-of-tick callbacks. Precondition of the parallel run loop: no
+// live event is queued before t.
+func (e *Engine) hasWorkAt(t Time) bool {
+	if len(e.tickEnd) > 0 {
+		return true
+	}
+	at, ok := e.peek()
+	return ok && at == t
+}
+
+// runInstant advances the clock to t and fires every queued event scheduled
+// at exactly t — including events callbacks add at t while it runs — then
+// flushes end-of-tick hooks, looping until the instant is fully drained.
+// Later events stay queued. It is the per-partition step of a
+// ParallelEngine's lockstep loop; callers must guarantee no live event is
+// queued before t.
+func (e *Engine) runInstant(t Time) {
+	e.now = t
+	for !e.stopped {
+		if len(e.queue) > 0 && e.queue[0].at == t {
+			next := heap.Pop(&e.queue).(*Event)
+			if next.cancelled {
+				continue
+			}
+			e.Processed++
+			next.fn(e)
+			continue
+		}
+		if len(e.tickEnd) > 0 {
+			e.flushTickEnd()
+			continue
+		}
+		break
+	}
 }

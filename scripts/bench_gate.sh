@@ -1,0 +1,67 @@
+#!/bin/sh
+# Bench regression gate: rerun key benchmarks (min ns/op of 3 counts) and
+# compare against the latest recorded BENCH_<yyyy-mm-dd>.json; fail when any
+# shared benchmark regressed by more than 20%. Skips cleanly when nothing
+# has been recorded yet or when no benchmark names overlap (e.g. a machine
+# with a different core count suffixes names differently).
+# Usage: scripts/bench_gate.sh [pattern]
+set -eu
+cd "$(dirname "$0")/.."
+
+# Default to the stable hot-path benchmarks: single-threaded collector
+# ingest, incremental reallocation, and the lockstep engine's serial
+# instant loop. The multi-worker and sharded variants are deliberately
+# excluded — their timings are scheduler-bound and too noisy for a 20%
+# gate, especially on small machines. (go test treats each unbracketed
+# "|" alternative as its own slash-separated pattern, so the /workers-1
+# below filters only the ParallelEngineInstants sub-benchmarks.)
+pattern="${1:-^BenchmarkCollectorIngest\$|ParallelEngineInstants/workers-1|ReallocateIncremental}"
+latest=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+if [ -z "$latest" ]; then
+	echo "bench gate: no BENCH_*.json recorded; skipping"
+	exit 0
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench "$pattern" -benchtime 0.3s -count 5 \
+	./internal/sim/... ./internal/core/... ./internal/netsim/... >"$tmp"
+
+awk -v latest="$latest" '
+	# Pass 1: recorded ns/op by benchmark name (our JSON keeps one
+	# benchmark per line).
+	NR == FNR {
+		if (match($0, /"name": "[^"]+"/)) {
+			name = substr($0, RSTART + 9, RLENGTH - 10)
+			if (match($0, /"ns\/op": [0-9.eE+-]+/))
+				rec[name] = substr($0, RSTART + 9, RLENGTH - 9) + 0
+		}
+		next
+	}
+	# Pass 2: fresh runs — keep each name'\''s min ns/op across counts.
+	/^Benchmark/ {
+		for (i = 3; i + 1 <= NF; i += 2) if ($(i + 1) == "ns/op") {
+			v = $i + 0
+			if (!($1 in fresh) || v < fresh[$1]) fresh[$1] = v
+		}
+	}
+	END {
+		checked = failed = 0
+		for (name in fresh) {
+			if (!(name in rec) || rec[name] <= 0) continue
+			checked++
+			ratio = fresh[name] / rec[name]
+			printf "bench gate: %-55s recorded %.0f ns/op, now %.0f ns/op (%.2fx)\n", name, rec[name], fresh[name], ratio
+			if (ratio > 1.20) {
+				failed++
+				printf "bench gate: FAIL %s regressed more than 20%%\n", name
+			}
+		}
+		if (checked == 0) {
+			print "bench gate: no overlapping benchmarks with " latest "; skipping"
+			exit 0
+		}
+		if (failed > 0) exit 1
+		printf "bench gate: %d benchmark(s) within 20%% of %s\n", checked, latest
+	}
+' "$latest" "$tmp"

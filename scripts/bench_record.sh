@@ -11,8 +11,9 @@ out="BENCH_$(date +%F).json"
 cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
 gomaxprocs="${GOMAXPROCS:-$cpus}"
 
-go test -run '^$' -bench 'Collector|Sharded|Realloc|Churn|Coalesc|SharedRead' -benchmem \
-	-benchtime "$benchtime" ./internal/core/... ./internal/netsim/... ./internal/control/... |
+go test -run '^$' -bench 'Collector|Sharded|Realloc|Churn|Coalesc|SharedRead|ParallelEngine|EngineArm' -benchmem \
+	-benchtime "$benchtime" ./internal/core/... ./internal/netsim/... ./internal/control/... \
+	./internal/sim/... ./internal/expt/... |
 	awk -v date="$(date +%F)" -v goversion="$(go env GOVERSION)" \
 		-v gomaxprocs="$gomaxprocs" -v cpus="$cpus" '
 	BEGIN {

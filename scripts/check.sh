@@ -19,4 +19,9 @@ go test -race ./internal/core/... ./internal/agg/... ./internal/netsim/... \
 # The E7 shared-network driver arm: concurrent drivers against one owner
 # goroutine, hammered under the race detector.
 go test -race -run 'TestE7SharedDriverArm|TestE7DriverSweepSkips' ./internal/expt/
+# The multi-driver engine determinism pin: worker-pool lockstep runs vs the
+# serial reference on every topology fixture, under the race detector.
+go test -race -run 'TestEngineArmDifferentialOnFixtures|TestParallel' ./internal/expt/ ./internal/sim/
 go test -race ./...
+# Hot paths can't quietly regress: key benchmarks vs the latest recording.
+scripts/bench_gate.sh
