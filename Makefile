@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench chaos fmt
+.PHONY: check build vet test race bench chaos recover fmt
 
 # Tier-1 gate: everything a PR must pass before merging.
 check: build vet race
@@ -23,6 +23,11 @@ bench:
 # Chaos suite: the deterministic fault-injection tests (E15 + faults pkg).
 chaos:
 	$(GO) test -race -count=1 -run 'E15|Chaos|Fault|Breaker' ./internal/expt ./internal/faults ./internal/lookingglass
+
+# Kill-and-catch-up demo: boot eona-lg with a journal, kill -9 it, restart,
+# and verify the A2I summaries are identical across the crash.
+recover:
+	scripts/recover_demo.sh
 
 fmt:
 	gofmt -l -w .

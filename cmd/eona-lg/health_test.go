@@ -22,11 +22,11 @@ func TestHealthEndpointWithPeer(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	snap := pollPeer(ctx, peerTS.URL, "demo-token", 5*time.Millisecond)
+	snap := pollPeer(ctx, peerTS.URL, "demo-token", 5*time.Millisecond, nil, nil)
 
 	// Local server with the health endpoint mounted alongside the
 	// looking-glass surfaces.
-	local := eona.NewServer(store, nil, apppSources())
+	local := eona.NewServer(store, nil, apppSources(nil, nil))
 	ts := httptest.NewServer(newMux(local.Handler(), peerTS.URL, snap))
 	defer ts.Close()
 

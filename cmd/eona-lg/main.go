@@ -24,6 +24,16 @@
 //
 //	eona-lg -role appp -peer http://localhost:8081 -peer-token demo-token
 //	curl http://localhost:8080/v1/health
+//
+// With -journal the server is crash-safe: collector ingests and partner
+// poll results are appended to a durable journal, and a restart recovers
+// them — the collector's rollups are rebuilt from the journaled ingest
+// stream (instead of re-feeding the synthetic demo data) and the poller's
+// snapshot is warm-started from the last journaled poll:
+//
+//	eona-lg -role appp -journal /var/lib/eona/lg.journal
+//	kill -9 <pid>; eona-lg -role appp -journal /var/lib/eona/lg.journal
+//	# summaries identical across the kill
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 
 	"eona"
 	"eona/internal/core"
+	"eona/internal/journal"
 	"eona/internal/lookingglass"
 )
 
@@ -49,16 +60,43 @@ func main() {
 	peer := flag.String("peer", "", "base URL of a partner looking glass to poll for I2A peering hints (optional)")
 	peerToken := flag.String("peer-token", "demo-token", "bearer token for the partner looking glass")
 	peerInterval := flag.Duration("peer-interval", 10*time.Second, "partner polling interval")
+	journalDir := flag.String("journal", "", "journal directory: persist ingests and poll results, recover them on restart (optional)")
+	journalSync := flag.String("journal-sync", "append", "journal fsync policy: append | rotate | never")
 	flag.Parse()
 
 	store := eona.NewAuthStore()
 	store.Register(*token, "demo-collaborator", eona.ScopeAdmin)
 	limiter := eona.NewRateLimiter(*rate, *rate*2)
 
+	var jw *journal.Writer
+	var recovered *journal.Recovered
+	if *journalDir != "" {
+		pol, err := journal.ParseSyncPolicy(*journalSync)
+		if err != nil {
+			log.Fatalf("eona-lg: %v", err)
+		}
+		recovered, err = journal.Recover(*journalDir)
+		if err != nil {
+			log.Fatalf("eona-lg: %v", err)
+		}
+		jw, err = journal.Open(journal.Config{Dir: *journalDir, Sync: pol})
+		if err != nil {
+			log.Fatalf("eona-lg: %v", err)
+		}
+		defer jw.Close()
+		log.Printf("eona-lg: journal %s: recovered %d ingests, %d polls (%d torn bytes discarded)",
+			*journalDir, len(recovered.Ingests), len(recovered.Polls), recovered.TruncatedBytes)
+	}
+	var recIngests []core.QoERecord
+	var recPolls []journal.PollRecord
+	if recovered != nil {
+		recIngests, recPolls = recovered.Ingests, recovered.Polls
+	}
+
 	var src eona.Sources
 	switch *role {
 	case "appp":
-		src = apppSources()
+		src = apppSources(jw, recIngests)
 	case "infp":
 		src = infpSources()
 	default:
@@ -68,7 +106,7 @@ func main() {
 
 	var snap *lookingglass.Snapshot[[]core.PeeringInfo]
 	if *peer != "" {
-		snap = pollPeer(context.Background(), *peer, *peerToken, *peerInterval)
+		snap = pollPeer(context.Background(), *peer, *peerToken, *peerInterval, jw, recPolls)
 		log.Printf("eona-lg: polling partner %s every %v", *peer, *peerInterval)
 	}
 
@@ -91,15 +129,35 @@ func main() {
 // pollPeer starts the hardened background poller against a partner looking
 // glass: per-attempt timeouts, jittered exponential backoff while the
 // partner is failing, a circuit breaker that probes half-open after a
-// cooldown, and hint confidence decaying on ten polling intervals.
-func pollPeer(ctx context.Context, base, token string, interval time.Duration) *lookingglass.Snapshot[[]core.PeeringInfo] {
+// cooldown, and hint confidence decaying on ten polling intervals. With a
+// journal, every successful poll is persisted and the snapshot warm-starts
+// from the newest journaled poll of this peer — confidence decays from its
+// original fetch time, so a restart inherits last-known-good hints at an
+// honest trust level instead of starting blind.
+func pollPeer(ctx context.Context, base, token string, interval time.Duration, jw *journal.Writer, recovered []journal.PollRecord) *lookingglass.Snapshot[[]core.PeeringInfo] {
 	client := lookingglass.NewClient(base, token, nil)
 	snap, _ := lookingglass.PollWith(ctx, lookingglass.PollConfig{
 		Interval: interval,
 		HalfLife: 10 * interval,
 	}, func(ctx context.Context) ([]core.PeeringInfo, error) {
-		return client.PeeringInfo(ctx, "")
+		v, err := client.PeeringInfo(ctx, "")
+		if err == nil && jw != nil {
+			if data, merr := json.Marshal(v); merr == nil {
+				_ = jw.AppendPoll(journal.PollRecord{Source: base, At: time.Now().UTC(), Data: data})
+			}
+		}
+		return v, err
 	})
+	for i := len(recovered) - 1; i >= 0; i-- {
+		if recovered[i].Source != base {
+			continue
+		}
+		var v []core.PeeringInfo
+		if err := json.Unmarshal(recovered[i].Data, &v); err == nil {
+			snap.Seed(v, recovered[i].At)
+		}
+		break
+	}
 	return snap
 }
 
@@ -160,15 +218,37 @@ func healthHandler(peer string, snap *lookingglass.Snapshot[[]core.PeeringInfo])
 	}
 }
 
-// apppSources builds an AppP's A2I surfaces from a collector fed with a
-// deterministic synthetic session stream.
-func apppSources() eona.Sources {
-	col := eona.NewA2ICollector(eona.CollectorConfig{
+// apppSources builds an AppP's A2I surfaces from a collector. On a first
+// boot the collector is fed the deterministic synthetic session stream —
+// journaled, when a journal is attached, so the feed is durable. On a
+// restart (recovered non-empty) the journaled ingest stream is replayed
+// into the collector instead, bypassing the journal wrapper so history is
+// not re-appended: the rollups come back exactly as the crashed process
+// had them.
+func apppSources(jw *journal.Writer, recovered []core.QoERecord) eona.Sources {
+	inner := eona.NewA2ICollector(eona.CollectorConfig{
 		AppP:   "demo-vod",
 		Policy: eona.ExportPolicy{MinGroupSessions: 2},
 		Window: 5 * time.Minute,
 		Seed:   42,
 	})
+	col := inner
+	if jw != nil {
+		col = journal.WrapCollector(inner, jw)
+	}
+	if len(recovered) > 0 {
+		inner.IngestBatch(recovered)
+	} else {
+		feedSyntheticSessions(col)
+	}
+	return eona.Sources{
+		QoESummaries:     col.Summaries,
+		TrafficEstimates: func() []eona.TrafficEstimate { return col.TrafficEstimates(200 * time.Second) },
+	}
+}
+
+// feedSyntheticSessions ingests the deterministic demo session stream.
+func feedSyntheticSessions(col eona.A2ICollector) {
 	model := eona.DefaultModel()
 	isps := []string{"isp-a", "isp-b"}
 	cdns := []string{"cdnX", "cdnY"}
@@ -182,10 +262,6 @@ func apppSources() eona.Sources {
 		col.Ingest(eona.RecordFrom(model, m,
 			fmt.Sprintf("s%03d", i), "demo-vod", isps[i%2], cdns[i%3%2], "east",
 			time.Duration(i)*time.Second))
-	}
-	return eona.Sources{
-		QoESummaries:     col.Summaries,
-		TrafficEstimates: func() []eona.TrafficEstimate { return col.TrafficEstimates(200 * time.Second) },
 	}
 }
 

@@ -2,11 +2,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 	"time"
 
 	"eona"
+	"eona/internal/core"
+	"eona/internal/journal"
 )
 
 func serveRole(t *testing.T, src eona.Sources) *eona.Client {
@@ -20,7 +24,7 @@ func serveRole(t *testing.T, src eona.Sources) *eona.Client {
 }
 
 func TestApppSourcesServeA2I(t *testing.T) {
-	client := serveRole(t, apppSources())
+	client := serveRole(t, apppSources(nil, nil))
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 
@@ -46,6 +50,86 @@ func TestApppSourcesServeA2I(t *testing.T) {
 	}
 	if len(traffic) == 0 {
 		t.Fatal("demo AppP exports no traffic estimates")
+	}
+}
+
+// TestJournalRestartRebuildsCollector pins the eona-lg crash/recover cycle
+// at the source-construction layer: a first boot feeds (and journals) the
+// synthetic sessions; a restart rebuilds the collector from the journal
+// instead, serving identical summaries — and without re-journaling history.
+func TestJournalRestartRebuildsCollector(t *testing.T) {
+	dir := t.TempDir()
+	w, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src1 := apppSources(w, nil)
+	sum1 := src1.QoESummaries()
+	traffic1 := src1.TrafficEstimates()
+	if len(sum1) == 0 {
+		t.Fatal("first boot served no summaries")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := journal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ingests) != 200 {
+		t.Fatalf("journal holds %d ingests, want the 200 synthetic sessions", len(rec.Ingests))
+	}
+
+	w2, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := apppSources(w2, rec.Ingests)
+	if got := src2.QoESummaries(); !reflect.DeepEqual(got, sum1) {
+		t.Fatalf("recovered summaries differ:\n%+v\n%+v", got, sum1)
+	}
+	if got := src2.TrafficEstimates(); !reflect.DeepEqual(got, traffic1) {
+		t.Fatalf("recovered traffic estimates differ:\n%+v\n%+v", got, traffic1)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec2, err := journal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Ingests) != 200 {
+		t.Fatalf("restart re-journaled history: %d ingests", len(rec2.Ingests))
+	}
+}
+
+// TestPollPeerSeedsFromJournal: a restart warm-starts the peer snapshot
+// from the newest journaled poll for that peer, at its original fetch time.
+func TestPollPeerSeedsFromJournal(t *testing.T) {
+	hints := []core.PeeringInfo{{PeeringID: "B", CDN: "cdnX", HeadroomBps: 2e6}}
+	data, err := json.Marshal(hints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetchedAt := time.Now().Add(-42 * time.Second).UTC()
+	recovered := []journal.PollRecord{
+		{Source: "http://other/", At: fetchedAt.Add(-time.Hour), Data: []byte(`[]`)},
+		{Source: "http://peer/", At: fetchedAt, Data: data},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	snap := pollPeer(ctx, "http://peer/", "tok", time.Hour, nil, recovered)
+	v, at, ok := snap.Get()
+	if !ok {
+		t.Fatal("snapshot not seeded")
+	}
+	if !at.Equal(fetchedAt) {
+		t.Fatalf("seeded at %v, want original fetch time %v", at, fetchedAt)
+	}
+	if !reflect.DeepEqual(v, hints) {
+		t.Fatalf("seeded value %+v, want %+v", v, hints)
 	}
 }
 

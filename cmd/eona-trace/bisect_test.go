@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eona/internal/journal"
+	"eona/internal/netsim"
+)
+
+// writeOpJournal builds a journal by applying ops to a live network and
+// recording each with its true post-apply digest — except lieAt (when >= 0),
+// whose digest is journaled corrupted: a frame-valid record whose content
+// lies, the tamper only bisect can catch.
+func writeOpJournal(t *testing.T, dir string, lieAt int) int {
+	t.Helper()
+	w, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := netsim.NewTopology()
+	a := topo.AddLink("a", "b", 100, time.Millisecond, "")
+	b := topo.AddLink("b", "c", 80, time.Millisecond, "")
+	if err := w.AppendTopology(netsim.ExportTopology(topo)); err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.NewNetwork(topo)
+	rp := netsim.NewReplayer(n)
+	links := []netsim.LinkID{a.ID, b.ID}
+	ops := []netsim.Op{
+		{Kind: netsim.OpStart, Flow: 0, Links: links, Value: 40, Tag: "x"},
+		{Kind: netsim.OpStart, Flow: 1, Links: links[:1], Value: 70, Tag: "y"},
+		{Kind: netsim.OpSetDemand, Flow: 0, Value: 25},
+		{Kind: netsim.OpSetLinkCapacity, Link: b.ID, Value: 60},
+		{Kind: netsim.OpSetWeight, Flow: 1, Value: 3},
+		{Kind: netsim.OpStop, Flow: 0},
+	}
+	for i, op := range ops {
+		if err := rp.Apply(op); err != nil {
+			t.Fatal(err)
+		}
+		digest := n.StateDigest()
+		if i == lieAt {
+			digest ^= 0xBAD
+		}
+		if err := w.AppendOp(op, digest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return len(ops)
+}
+
+func TestBisectCleanJournal(t *testing.T) {
+	dir := t.TempDir()
+	total := writeOpJournal(t, dir, -1)
+	var out strings.Builder
+	diverged, err := bisectJournal(&out, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diverged {
+		t.Fatalf("clean journal reported divergent:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "all 6 ops converge") || total != 6 {
+		t.Fatalf("unexpected report:\n%s", out.String())
+	}
+}
+
+func TestBisectReportsFirstDivergentOp(t *testing.T) {
+	dir := t.TempDir()
+	writeOpJournal(t, dir, 3)
+	var out strings.Builder
+	diverged, err := bisectJournal(&out, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diverged {
+		t.Fatalf("divergence missed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FIRST DIVERGENT OP 3") {
+		t.Fatalf("wrong divergence index:\n%s", out.String())
+	}
+}
+
+func TestBisectRejectsJournalWithoutTopology(t *testing.T) {
+	dir := t.TempDir()
+	w, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := bisectJournal(&out, dir); err == nil {
+		t.Fatal("journal without a topology bisected successfully")
+	}
+}

@@ -14,16 +14,26 @@
 // Inspect any trace:
 //
 //	eona-trace -inspect crowd.csv
+//
+// Bisect a crash-safe event journal (see internal/journal): replay its op
+// log, prefix by prefix, against a fresh serial netsim mirror and report
+// the first op whose post-apply state digest disagrees with what the
+// journal recorded — the first divergent op. Exits 0 when the whole log
+// converges, 1 on divergence:
+//
+//	eona-trace -bisect /var/lib/eona/sim.journal
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
 	"time"
 
+	"eona/internal/journal"
 	"eona/internal/workload"
 )
 
@@ -36,7 +46,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "", "output CSV path (default stdout)")
 	inspect := flag.String("inspect", "", "inspect an existing trace instead of generating")
+	bisect := flag.String("bisect", "", "bisect an event journal's op log against a serial replay mirror")
 	flag.Parse()
+
+	if *bisect != "" {
+		diverged, err := bisectJournal(os.Stdout, *bisect)
+		if err != nil {
+			log.Fatalf("eona-trace: %v", err)
+		}
+		if diverged {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *inspect != "" {
 		if err := inspectTrace(*inspect); err != nil {
@@ -87,6 +109,45 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "eona-trace: wrote %d sessions to %s\n", len(sessions), *out)
 	}
+}
+
+// bisectJournal recovers the journal at dir and replays its op log against
+// a fresh serial mirror, reporting the first divergent op index. Returns
+// whether a divergence was found; errors are setup failures (unreadable or
+// topology-less journals), not divergences.
+func bisectJournal(w io.Writer, dir string) (diverged bool, err error) {
+	rec, err := journal.Recover(dir)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(w, "journal      : %s\n", dir)
+	fmt.Fprintf(w, "segments     : %d (%d dropped after a tear)\n", rec.Segments, rec.DroppedSegments)
+	fmt.Fprintf(w, "ops          : %d\n", len(rec.Ops))
+	if rec.Snapshot != nil {
+		fmt.Fprintf(w, "snapshot     : after op %d (%d flows)\n", rec.Snapshot.OpIndex, len(rec.Snapshot.State.Flows))
+	} else {
+		fmt.Fprintf(w, "snapshot     : none\n")
+	}
+	if rec.TruncatedBytes > 0 {
+		fmt.Fprintf(w, "torn tail    : %d bytes discarded\n", rec.TruncatedBytes)
+	}
+	d, err := rec.Bisect()
+	if err != nil {
+		return false, err
+	}
+	if d == nil {
+		fmt.Fprintf(w, "bisect       : all %d ops converge — journal reproduces the run\n", len(rec.Ops))
+		return false, nil
+	}
+	fmt.Fprintf(w, "bisect       : FIRST DIVERGENT OP %d\n", d.Index)
+	fmt.Fprintf(w, "  op         : %v flow=%d link=%d value=%v links=%v tag=%q\n",
+		d.Op.Kind, d.Op.Flow, d.Op.Link, d.Op.Value, d.Op.Links, d.Op.Tag)
+	if d.ApplyErr != nil {
+		fmt.Fprintf(w, "  apply error: %v\n", d.ApplyErr)
+	} else {
+		fmt.Fprintf(w, "  digest     : mirror %016x, journal recorded %016x\n", d.Got, d.Want)
+	}
+	return true, nil
 }
 
 func inspectTrace(path string) error {

@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"sync"
+	"testing"
+)
+
+// RunE16 journals and recovers six arms (disk I/O, thousands of ops);
+// share one run across the assertions.
+var e16Once struct {
+	sync.Once
+	res E16Result
+}
+
+func e16Result() E16Result {
+	e16Once.Do(func() { e16Once.res = RunE16(1) })
+	return e16Once.res
+}
+
+// Every recovery must be digest-verified against the live pre-crash
+// network — an unverified arm means the journal does not reproduce the
+// run it recorded.
+func TestE16AllRecoveriesVerified(t *testing.T) {
+	for _, p := range e16Result().Points {
+		if !p.Verified {
+			t.Errorf("ops=%d snapEvery=%d: recovered digest != live digest", p.Ops, p.SnapEvery)
+		}
+	}
+}
+
+// The snapshot contract: without snapshots the tail is the whole log;
+// with them the replayed tail is bounded by the snapshot interval.
+func TestE16SnapshotsBoundTheTail(t *testing.T) {
+	for _, p := range e16Result().Points {
+		switch {
+		case p.SnapEvery == 0 && p.TailOps != p.Ops:
+			t.Errorf("ops=%d no-snapshot arm replayed %d tail ops, want the whole log", p.Ops, p.TailOps)
+		case p.SnapEvery > 0 && p.TailOps > p.SnapEvery:
+			t.Errorf("ops=%d snapEvery=%d arm replayed %d tail ops, want <= interval", p.Ops, p.SnapEvery, p.TailOps)
+		}
+	}
+}
+
+// The fault plan (4 access flaps = degrade + restore instants) must land
+// in the journal's event stream on every arm.
+func TestE16FaultEventsJournaled(t *testing.T) {
+	for _, p := range e16Result().Points {
+		if p.FaultEvents != 8 {
+			t.Errorf("ops=%d snapEvery=%d: %d fault events journaled, want 8", p.Ops, p.SnapEvery, p.FaultEvents)
+		}
+	}
+}
+
+func TestE16TableShape(t *testing.T) {
+	tab := e16Result().Table()
+	if want := 2 * len(E16OpCounts); len(tab.Rows) != want {
+		t.Fatalf("table has %d rows, want %d", len(tab.Rows), want)
+	}
+}

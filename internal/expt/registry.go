@@ -45,7 +45,7 @@ func (d Definition) Bind(cfg Config) Experiment {
 	return Experiment{ID: d.ID, Slow: d.Slow, Run: func() *Table { return d.Run(cfg) }}
 }
 
-// Definitions returns the full E1–E15 registry in suite order. The slice
+// Definitions returns the full E1–E16 registry in suite order. The slice
 // is freshly allocated; callers may filter or reorder it.
 func Definitions() []Definition {
 	return []Definition{
@@ -79,6 +79,8 @@ func Definitions() []Definition {
 			Run: func(c Config) *Table { return RunE14(c.Seed).Table() }},
 		{ID: "E15", Title: "chaos sweep — access flap + partner-exchange outage (§5)",
 			Run: func(c Config) *Table { return RunE15(c.Seed).Table() }},
+		{ID: "E16", Title: "crash/recovery sweep — recovery time vs journal length",
+			Run: func(c Config) *Table { return RunE16(c.Seed).Table() }},
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 
 func TestSuiteShape(t *testing.T) {
 	exps := Suite(1, E7Config{})
-	if len(exps) != 15 {
-		t.Fatalf("suite has %d experiments, want 15", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("suite has %d experiments, want 16", len(exps))
 	}
 	slow := map[string]bool{"E1": true, "E4": true, "E7": true}
 	for i, e := range exps {

@@ -1,0 +1,31 @@
+package journal
+
+import "eona/internal/core"
+
+// journaledCollector wraps an A2ICollector so every ingest is appended to
+// the journal before it reaches the inner collector: on restart, replaying
+// the recovered ingest stream rebuilds the collector's rollups exactly.
+// Query methods pass through untouched.
+type journaledCollector struct {
+	core.A2ICollector
+	w *Writer
+}
+
+// WrapCollector returns a collector that journals every ingest into w and
+// then forwards it to inner. Append errors latch on the writer (Err) —
+// ingest itself never fails, matching the A2ICollector contract.
+func WrapCollector(inner core.A2ICollector, w *Writer) core.A2ICollector {
+	return &journaledCollector{A2ICollector: inner, w: w}
+}
+
+func (c *journaledCollector) Ingest(rec core.QoERecord) {
+	_ = c.w.AppendIngest(rec)
+	c.A2ICollector.Ingest(rec)
+}
+
+func (c *journaledCollector) IngestBatch(recs []core.QoERecord) {
+	for _, rec := range recs {
+		_ = c.w.AppendIngest(rec)
+	}
+	c.A2ICollector.IngestBatch(recs)
+}

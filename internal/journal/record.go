@@ -1,0 +1,278 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"eona/internal/core"
+	"eona/internal/faults"
+	"eona/internal/netsim"
+)
+
+// Record types. The type byte is covered by the frame CRC, so a flipped
+// type is a torn frame, not a misparse.
+const (
+	// recTopo carries a netsim.TopoState (JSON): the graph the op log runs
+	// over. Written once, first, so a journal is self-contained.
+	recTopo byte = 1
+	// recOp carries one netsim.Op plus the post-apply state digest
+	// (binary — op demands are routinely +Inf, which JSON cannot encode).
+	recOp byte = 2
+	// recNetSnap carries a netsim.NetState snapshot, its digest and the
+	// count of ops preceding it (binary, for the same +Inf reason).
+	recNetSnap byte = 3
+	// recFault carries one faults.Event (JSON).
+	recFault byte = 4
+	// recIngest carries one core.QoERecord (JSON).
+	recIngest byte = 5
+	// recPoll carries one PollRecord (JSON).
+	recPoll byte = 6
+	// recOpaque marks an opaque Batch mutation that could not be captured
+	// op-by-op. Its presence makes op replay unsound; recovery reports it.
+	recOpaque byte = 7
+)
+
+// PollRecord is one looking-glass poll result as journaled by eona-lg: the
+// raw payload fetched from a peer, so a restart can re-seed its last-known
+// view without waiting out a poll interval.
+type PollRecord struct {
+	Source string          `json:"source"`
+	At     time.Time       `json:"at"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// ---- binary payload codecs -------------------------------------------------
+//
+// Ops and snapshots are binary: demands are commonly +Inf (a greedy flow),
+// which encoding/json rejects. Varints for IDs and counts, fixed 8-byte
+// little-endian for float bits and digests.
+
+// byteReader walks a payload; the first malformed field latches err and
+// every later read returns zero values, so decoders check err once at the
+// end.
+type byteReader struct {
+	b   []byte
+	err error
+}
+
+func (r *byteReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("journal: truncated or malformed %s", what)
+	}
+}
+
+func (r *byteReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *byteReader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *byteReader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *byteReader) str(what string) string {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)) < n {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *byteReader) done(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("journal: %d trailing bytes after %s", len(r.b), what)
+	}
+	return nil
+}
+
+func appendU64(buf []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(buf, v) }
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendOpPayload(buf []byte, op netsim.Op, digest uint64) []byte {
+	buf = append(buf, byte(op.Kind))
+	buf = binary.AppendUvarint(buf, uint64(op.Flow))
+	buf = appendU64(buf, math.Float64bits(op.Value))
+	buf = binary.AppendUvarint(buf, uint64(op.Link))
+	buf = binary.AppendUvarint(buf, uint64(len(op.Links)))
+	for _, l := range op.Links {
+		buf = binary.AppendUvarint(buf, uint64(l))
+	}
+	buf = appendStr(buf, op.Tag)
+	buf = appendU64(buf, digest)
+	return buf
+}
+
+func decodeOpPayload(p []byte) (netsim.Op, uint64, error) {
+	var op netsim.Op
+	if len(p) == 0 {
+		return op, 0, fmt.Errorf("journal: empty op payload")
+	}
+	op.Kind = netsim.OpKind(p[0])
+	r := &byteReader{b: p[1:]}
+	op.Flow = netsim.FlowID(r.uvarint("op flow"))
+	op.Value = r.f64("op value")
+	op.Link = netsim.LinkID(r.uvarint("op link"))
+	n := r.uvarint("op path length")
+	if r.err == nil && n > uint64(len(r.b)) {
+		r.fail("op path")
+	}
+	if r.err == nil && n > 0 {
+		op.Links = make([]netsim.LinkID, n)
+		for i := range op.Links {
+			op.Links[i] = netsim.LinkID(r.uvarint("op path link"))
+		}
+	}
+	op.Tag = r.str("op tag")
+	digest := r.u64("op digest")
+	return op, digest, r.done("op record")
+}
+
+func appendSnapPayload(buf []byte, opIndex uint64, st netsim.NetState, digest uint64) []byte {
+	buf = binary.AppendUvarint(buf, opIndex)
+	buf = appendU64(buf, digest)
+	buf = binary.AppendUvarint(buf, uint64(st.NextID))
+	buf = appendU64(buf, math.Float64bits(st.MaxRate))
+	buf = binary.AppendUvarint(buf, uint64(len(st.Flows)))
+	for _, f := range st.Flows {
+		buf = binary.AppendUvarint(buf, uint64(f.ID))
+		buf = appendU64(buf, math.Float64bits(f.Demand))
+		buf = appendU64(buf, math.Float64bits(f.Weight))
+		buf = appendStr(buf, f.Tag)
+		buf = binary.AppendUvarint(buf, uint64(len(f.Links)))
+		for _, l := range f.Links {
+			buf = binary.AppendUvarint(buf, uint64(l))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(st.Capacities)))
+	for _, c := range st.Capacities {
+		buf = appendU64(buf, math.Float64bits(c))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(st.LinkRates)))
+	for _, v := range st.LinkRates {
+		buf = appendU64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeSnapPayload(p []byte) (opIndex uint64, st netsim.NetState, digest uint64, err error) {
+	r := &byteReader{b: p}
+	opIndex = r.uvarint("snapshot op index")
+	digest = r.u64("snapshot digest")
+	st.NextID = netsim.FlowID(r.uvarint("snapshot next id"))
+	st.MaxRate = r.f64("snapshot max rate")
+	nf := r.uvarint("snapshot flow count")
+	if r.err == nil && nf > uint64(len(r.b)) {
+		r.fail("snapshot flows")
+	}
+	for i := uint64(0); r.err == nil && i < nf; i++ {
+		var f netsim.FlowState
+		f.ID = netsim.FlowID(r.uvarint("flow id"))
+		f.Demand = r.f64("flow demand")
+		f.Weight = r.f64("flow weight")
+		f.Tag = r.str("flow tag")
+		nl := r.uvarint("flow path length")
+		if r.err == nil && nl > uint64(len(r.b)) {
+			r.fail("flow path")
+		}
+		for j := uint64(0); r.err == nil && j < nl; j++ {
+			f.Links = append(f.Links, netsim.LinkID(r.uvarint("flow path link")))
+		}
+		st.Flows = append(st.Flows, f)
+	}
+	nc := r.uvarint("capacity count")
+	if r.err == nil && nc > uint64(len(r.b))/8+1 {
+		r.fail("capacities")
+	}
+	for i := uint64(0); r.err == nil && i < nc; i++ {
+		st.Capacities = append(st.Capacities, r.f64("capacity"))
+	}
+	nr := r.uvarint("link-rate count")
+	if r.err == nil && nr > uint64(len(r.b))/8+1 {
+		r.fail("link rates")
+	}
+	for i := uint64(0); r.err == nil && i < nr; i++ {
+		st.LinkRates = append(st.LinkRates, r.f64("link rate"))
+	}
+	return opIndex, st, digest, r.done("snapshot record")
+}
+
+// ---- JSON payload codecs ---------------------------------------------------
+//
+// Topology, fault, ingest and poll records carry no infinities, so they use
+// JSON: self-describing, greppable with standard tools, and schema drift
+// degrades to a decode error rather than silent misparse.
+
+func marshalJSONPayload(kind string, v any) ([]byte, error) {
+	p, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode %s: %w", kind, err)
+	}
+	return p, nil
+}
+
+func decodeTopoPayload(p []byte) (netsim.TopoState, error) {
+	var ts netsim.TopoState
+	if err := json.Unmarshal(p, &ts); err != nil {
+		return ts, fmt.Errorf("journal: decode topology: %w", err)
+	}
+	return ts, nil
+}
+
+func decodeFaultPayload(p []byte) (faults.Event, error) {
+	var ev faults.Event
+	if err := json.Unmarshal(p, &ev); err != nil {
+		return ev, fmt.Errorf("journal: decode fault event: %w", err)
+	}
+	return ev, nil
+}
+
+func decodeIngestPayload(p []byte) (core.QoERecord, error) {
+	var rec core.QoERecord
+	if err := json.Unmarshal(p, &rec); err != nil {
+		return rec, fmt.Errorf("journal: decode ingest: %w", err)
+	}
+	return rec, nil
+}
+
+func decodePollPayload(p []byte) (PollRecord, error) {
+	var pr PollRecord
+	if err := json.Unmarshal(p, &pr); err != nil {
+		return pr, fmt.Errorf("journal: decode poll: %w", err)
+	}
+	return pr, nil
+}

@@ -1,0 +1,232 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"eona/internal/core"
+	"eona/internal/faults"
+	"eona/internal/netsim"
+)
+
+// OpRecord is one journaled netsim op with the state digest the writer
+// recorded after applying it.
+type OpRecord struct {
+	Op     netsim.Op
+	Digest uint64
+}
+
+// SnapRecord is one journaled NetState checkpoint.
+type SnapRecord struct {
+	// OpIndex counts the op records that precede this snapshot; tail
+	// catch-up replays Ops[OpIndex:].
+	OpIndex int
+	State   netsim.NetState
+	Digest  uint64
+}
+
+// Recovered is everything a journal holds after tear repair: the decoded
+// record streams plus what was discarded to get there. It is read-only —
+// Recover never modifies the files (Open does the truncation).
+type Recovered struct {
+	// Topo is the journaled topology, nil if the journal has none (e.g. an
+	// eona-lg journal, which carries only ingests and polls).
+	Topo *netsim.TopoState
+	// Snapshot is the newest intact snapshot, nil if none.
+	Snapshot *SnapRecord
+	// Ops holds every op record in append order, from the beginning of the
+	// log — not just the tail, so Bisect can replay the whole history.
+	Ops []OpRecord
+	// Ingests, Faults and Polls are the non-netsim streams in append order.
+	Ingests []core.QoERecord
+	Faults  []faults.Event
+	Polls   []PollRecord
+	// Opaque reports that an opaque-batch marker was seen: some mutation
+	// was not captured op-by-op, so replaying Ops does NOT reproduce the
+	// writer's network. RecoverNetwork refuses in that case.
+	Opaque bool
+	// TruncatedBytes counts torn-tail bytes that were ignored, and
+	// DroppedSegments counts segments discarded after a mid-log tear.
+	TruncatedBytes  int64
+	DroppedSegments int
+	// Segments counts the segment files that contributed records.
+	Segments int
+}
+
+// Recover reads the journal in dir, tolerating (and measuring) a torn tail:
+// everything before the first tear is decoded, everything after it is
+// counted into TruncatedBytes/DroppedSegments. A missing directory or one
+// with no segments yields an empty Recovered, not an error — a first boot
+// has no journal yet.
+func Recover(dir string) (*Recovered, error) {
+	rec := &Recovered{}
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return rec, nil
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	torn := false
+	for i, name := range segs {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		if torn {
+			rec.DroppedSegments++
+			rec.TruncatedBytes += int64(len(data))
+			continue
+		}
+		valid, serr := scanSegment(data, rec.apply)
+		if serr != nil && !errors.Is(serr, ErrTorn) {
+			return nil, fmt.Errorf("journal: segment %s: %w", name, serr)
+		}
+		rec.Segments = i + 1
+		if serr != nil {
+			torn = true
+			rec.TruncatedBytes += int64(len(data) - valid)
+		}
+	}
+	return rec, nil
+}
+
+// apply decodes one record into the Recovered streams. A record that frames
+// correctly but fails its payload decode is corruption past the CRC —
+// surfaced as an error, not silently skipped.
+func (r *Recovered) apply(typ byte, payload []byte) error {
+	switch typ {
+	case recTopo:
+		ts, err := decodeTopoPayload(payload)
+		if err != nil {
+			return err
+		}
+		r.Topo = &ts
+	case recOp:
+		op, digest, err := decodeOpPayload(payload)
+		if err != nil {
+			return err
+		}
+		r.Ops = append(r.Ops, OpRecord{Op: op, Digest: digest})
+	case recNetSnap:
+		opIndex, st, digest, err := decodeSnapPayload(payload)
+		if err != nil {
+			return err
+		}
+		if opIndex > uint64(len(r.Ops)) {
+			return fmt.Errorf("journal: snapshot claims %d preceding ops, log has %d", opIndex, len(r.Ops))
+		}
+		r.Snapshot = &SnapRecord{OpIndex: int(opIndex), State: st, Digest: digest}
+	case recFault:
+		ev, err := decodeFaultPayload(payload)
+		if err != nil {
+			return err
+		}
+		r.Faults = append(r.Faults, ev)
+	case recIngest:
+		qr, err := decodeIngestPayload(payload)
+		if err != nil {
+			return err
+		}
+		r.Ingests = append(r.Ingests, qr)
+	case recPoll:
+		pr, err := decodePollPayload(payload)
+		if err != nil {
+			return err
+		}
+		r.Polls = append(r.Polls, pr)
+	case recOpaque:
+		r.Opaque = true
+	default:
+		return fmt.Errorf("journal: unknown record type %d", typ)
+	}
+	return nil
+}
+
+// RecoverNetwork rebuilds the journaled network: latest snapshot imported
+// onto a fresh network over the journaled topology, then the op tail behind
+// the snapshot replayed — or a full replay when no snapshot exists. Every
+// step is verified against the journal's recorded digests — the imported
+// snapshot and each replayed tail op must land on the digest the writer
+// recorded; a mismatch means the log does not reproduce the writer's run
+// (use Bisect to find where). Returns the network and the number of tail
+// ops replayed.
+func (r *Recovered) RecoverNetwork() (*netsim.Network, int, error) {
+	if r.Topo == nil {
+		return nil, 0, fmt.Errorf("journal: no topology record; journal does not carry a network")
+	}
+	if r.Opaque {
+		return nil, 0, fmt.Errorf("journal: log contains opaque batch mutations; op replay is unsound")
+	}
+	n := netsim.NewNetwork(r.Topo.Build())
+	tail := r.Ops
+	if r.Snapshot != nil {
+		if err := n.ImportState(r.Snapshot.State); err != nil {
+			return nil, 0, fmt.Errorf("journal: import snapshot: %w", err)
+		}
+		if got := n.StateDigest(); got != r.Snapshot.Digest {
+			return nil, 0, fmt.Errorf("journal: imported snapshot digest %016x != recorded %016x", got, r.Snapshot.Digest)
+		}
+		tail = r.Ops[r.Snapshot.OpIndex:]
+	}
+	rp := netsim.NewReplayer(n)
+	for i, or := range tail {
+		if err := rp.Apply(or.Op); err != nil {
+			return nil, i, fmt.Errorf("journal: replay tail: %w", err)
+		}
+		if got := n.StateDigest(); got != or.Digest {
+			return nil, i, fmt.Errorf("journal: tail op %d replayed to digest %016x, journal recorded %016x (run bisect)", i, got, or.Digest)
+		}
+	}
+	return n, len(tail), nil
+}
+
+// Divergence names the first op at which a replayed mirror stops matching
+// the journal's recorded digests.
+type Divergence struct {
+	// Index is the offending op's position in Recovered.Ops.
+	Index int
+	Op    netsim.Op
+	// Want is the digest the journal recorded after this op; Got is what
+	// the mirror computed. Both zero when ApplyErr is set.
+	Want, Got uint64
+	// ApplyErr is non-nil when the op would not even apply to the mirror
+	// (e.g. it references a flow the log never started).
+	ApplyErr error
+}
+
+func (d *Divergence) Error() string {
+	if d.ApplyErr != nil {
+		return fmt.Sprintf("journal: op %d (%v) failed to apply: %v", d.Index, d.Op.Kind, d.ApplyErr)
+	}
+	return fmt.Sprintf("journal: op %d (%v) diverges: mirror digest %016x, journal recorded %016x", d.Index, d.Op.Kind, d.Got, d.Want)
+}
+
+// Bisect replays the full op log, prefix by prefix, against a fresh serial
+// mirror of the journaled topology and reports the first op whose
+// post-apply state digest disagrees with what the writer recorded — the
+// first divergent op index. nil means every prefix matches: the journal
+// reproduces the run. Since each prefix extends the last by one op, the
+// incremental replay checks all prefixes in one O(n) pass.
+func (r *Recovered) Bisect() (*Divergence, error) {
+	if r.Topo == nil {
+		return nil, fmt.Errorf("journal: no topology record; nothing to bisect against")
+	}
+	if r.Opaque {
+		return nil, fmt.Errorf("journal: log contains opaque batch mutations; bisect would diverge spuriously")
+	}
+	n := netsim.NewNetwork(r.Topo.Build())
+	rp := netsim.NewReplayer(n)
+	for i, or := range r.Ops {
+		if err := rp.Apply(or.Op); err != nil {
+			return &Divergence{Index: i, Op: or.Op, ApplyErr: err}, nil
+		}
+		if got := n.StateDigest(); got != or.Digest {
+			return &Divergence{Index: i, Op: or.Op, Want: or.Digest, Got: got}, nil
+		}
+	}
+	return nil, nil
+}

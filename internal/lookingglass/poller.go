@@ -97,6 +97,21 @@ func (s *Snapshot[T]) SetHalfLife(d time.Duration) {
 	s.halfLife = d
 }
 
+// Seed warm-starts the snapshot with a value recovered from durable state
+// (e.g. a journaled poll result): consumers see it — with its original
+// fetch time, so Confidence decays from when it was actually fetched, not
+// from process start — until the first live poll replaces it. Counters are
+// untouched: a seed is not a poll. Only values older than the current one
+// are ignored, so a late Seed cannot clobber a live fetch.
+func (s *Snapshot[T]) Seed(v T, fetchedAt time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ok && !s.at.Before(fetchedAt) {
+		return
+	}
+	s.v, s.at, s.ok = v, fetchedAt, true
+}
+
 // LastAttempt returns when the most recent poll finished — successful or
 // failed — and false if no poll has completed yet. Together with Get, a
 // control loop can distinguish a failing peer (LastAttempt fresh, fetchedAt

@@ -73,43 +73,23 @@ func (t *Topology) pathOf(ids []LinkID) (Path, error) {
 	return p, nil
 }
 
-// Replay applies a SharedNetwork op log to a fresh serial Network built on
-// an identical topology. Flow IDs are re-assigned by n in the same order
-// they were assigned during the recorded run; Replay verifies they match,
-// which guards against replaying onto a non-fresh network.
-func Replay(n *Network, ops []Op) error {
-	handles := make(map[FlowID]*Flow)
-	for i, op := range ops {
-		switch op.Kind {
-		case OpStart:
-			p, err := n.topo.pathOf(op.Links)
-			if err != nil {
-				return fmt.Errorf("op %d: %w", i, err)
-			}
-			f := n.StartFlow(p, op.Value, op.Tag)
-			if f.ID != op.Flow {
-				return fmt.Errorf("op %d: replay assigned flow %d, log has %d (network not fresh?)", i, f.ID, op.Flow)
-			}
-			handles[f.ID] = f
-		case OpStop:
-			n.StopFlow(handles[op.Flow])
-		case OpSetDemand:
-			n.SetDemand(handles[op.Flow], op.Value)
-		case OpSetWeight:
-			n.SetWeight(handles[op.Flow], op.Value)
-		case OpSetPath:
-			p, err := n.topo.pathOf(op.Links)
-			if err != nil {
-				return fmt.Errorf("op %d: %w", i, err)
-			}
-			n.SetPath(handles[op.Flow], p)
-		case OpSetLinkCapacity:
-			n.SetLinkCapacity(op.Link, op.Value)
-		default:
-			return fmt.Errorf("op %d: unknown kind %v", i, op.Kind)
-		}
-	}
-	return nil
+// OpSink receives every committed op (and periodic state snapshots) as
+// they apply — the hook a durable journal implements (internal/journal) so
+// a SharedNetwork's history survives the process. All methods are called
+// from the owner goroutine, in commit order; implementations need no
+// locking against the network but must not call back into it.
+type OpSink interface {
+	// AppendOp records one committed op together with the post-apply
+	// StateDigest of the network (an FNV-1a fingerprint of the allocator
+	// inputs), which replay tools compare per op to bisect divergence.
+	AppendOp(op Op, digest uint64) error
+	// AppendSnapshot records a full state snapshot; recovery loads the
+	// latest snapshot and replays only the ops after it.
+	AppendSnapshot(st NetState, digest uint64) error
+	// AppendOpaque marks an opaque Batch whose mutations cannot be
+	// journaled; recovery from a journal containing one is unsound and
+	// must say so.
+	AppendOpaque() error
 }
 
 // SharedConfig configures a SharedNetwork.
@@ -129,6 +109,15 @@ type SharedConfig struct {
 	// Record keeps the op log (Log), enabling Replay-based differential
 	// checks and op-sequence export.
 	Record bool
+	// Journal, when set, receives every committed op (and, on the
+	// SnapshotEvery cadence, full state snapshots) in commit order — the
+	// durable mirror of Record. Sink errors do not fail mutations; the
+	// first one is retained and surfaced by JournalError after Close.
+	Journal OpSink
+	// SnapshotEvery appends a state snapshot to Journal after that many
+	// journaled ops, always at a commit boundary (never mid-window in
+	// deterministic mode). Zero disables automatic snapshots.
+	SnapshotEvery int
 }
 
 // DefaultSharedQueue is the command channel capacity when SharedConfig.Queue
@@ -193,10 +182,12 @@ type SharedNetwork struct {
 	seq0   atomic.Uint64 // op sequence for driver 0 (the SharedNetwork's own methods)
 
 	// Owner-goroutine state.
-	window      []*sharedCmd // deterministic mode: ops buffered until Commit
-	log         []Op
-	logComplete bool
-	pubSeq      uint64
+	window       []*sharedCmd // deterministic mode: ops buffered until Commit
+	log          []Op
+	logComplete  bool
+	pubSeq       uint64
+	opsSinceSnap int
+	journalErr   error
 }
 
 // NewShared wraps a serial Network and starts the owner goroutine, taking
@@ -366,6 +357,18 @@ func (s *SharedNetwork) Log() ([]Op, bool) {
 	return s.log, s.logComplete
 }
 
+// JournalError returns the first error the journal sink reported, if any.
+// Like Log it is only valid after Close (it panics otherwise): sink errors
+// belong to the owner goroutine while it runs. A run whose JournalError is
+// non-nil has an incomplete journal; its recovery is untrustworthy.
+func (s *SharedNetwork) JournalError() error {
+	if !s.closed.Load() {
+		panic("netsim: SharedNetwork.JournalError before Close")
+	}
+	<-s.done
+	return s.journalErr
+}
+
 // Driver returns a command handle with its own deterministic op sequence.
 // In deterministic mode, give each concurrent goroutine a distinct driver
 // ID (≥1; 0 is the SharedNetwork's own methods): the Commit sort key is
@@ -480,6 +483,7 @@ func (s *SharedNetwork) run() {
 				continue
 			}
 			s.apply(c)
+			s.maybeSnapshot()
 			s.publish()
 			close(c.reply)
 		case cmdBatch:
@@ -492,6 +496,7 @@ func (s *SharedNetwork) run() {
 			close(c.reply)
 		case cmdCommit:
 			s.commitWindow()
+			s.maybeSnapshot()
 			s.publish()
 			close(c.reply)
 		case cmdClose:
@@ -531,47 +536,75 @@ func (s *SharedNetwork) runBatch(c *sharedCmd) {
 	if s.cfg.Record {
 		s.logComplete = false
 	}
+	if s.cfg.Journal != nil {
+		s.noteJournalErr(s.cfg.Journal.AppendOpaque())
+	}
 	s.net.Batch(func() { c.fn(s.net) })
 }
 
 // apply performs one mutation on the inner network and records it. Ops on
 // detached flows are no-ops and are not recorded (their handles may carry a
-// stale or zero ID that would corrupt a replay).
+// stale or zero ID that would corrupt a replay). Recording happens after
+// the mutation so the journal sink sees the post-apply state digest.
 func (s *SharedNetwork) apply(c *sharedCmd) {
 	n := s.net
+	var op Op
+	live := true
 	switch c.op.Kind {
 	case OpStart:
 		n.startFlowAs(c.flow, c.path, c.op.Value, c.op.Tag)
-		s.record(Op{Kind: OpStart, Flow: c.flow.ID, Links: linkIDs(c.path), Value: c.op.Value, Tag: c.op.Tag})
+		op = Op{Kind: OpStart, Flow: c.flow.ID, Links: linkIDs(c.path), Value: c.op.Value, Tag: c.op.Tag}
 	case OpStop:
-		if n.attached(c.flow) {
-			s.record(Op{Kind: OpStop, Flow: c.flow.ID})
-		}
+		live = n.attached(c.flow)
+		op = Op{Kind: OpStop, Flow: c.flow.ID}
 		n.StopFlow(c.flow)
 	case OpSetDemand:
-		if n.attached(c.flow) {
-			s.record(Op{Kind: OpSetDemand, Flow: c.flow.ID, Value: c.op.Value})
-		}
+		live = n.attached(c.flow)
+		op = Op{Kind: OpSetDemand, Flow: c.flow.ID, Value: c.op.Value}
 		n.SetDemand(c.flow, c.op.Value)
 	case OpSetWeight:
-		if n.attached(c.flow) {
-			s.record(Op{Kind: OpSetWeight, Flow: c.flow.ID, Value: c.op.Value})
-		}
+		live = n.attached(c.flow)
+		op = Op{Kind: OpSetWeight, Flow: c.flow.ID, Value: c.op.Value}
 		n.SetWeight(c.flow, c.op.Value)
 	case OpSetPath:
-		if n.attached(c.flow) {
-			s.record(Op{Kind: OpSetPath, Flow: c.flow.ID, Links: linkIDs(c.path)})
-		}
+		live = n.attached(c.flow)
+		op = Op{Kind: OpSetPath, Flow: c.flow.ID, Links: linkIDs(c.path)}
 		n.SetPath(c.flow, c.path)
 	case OpSetLinkCapacity:
-		s.record(Op{Kind: OpSetLinkCapacity, Link: c.op.Link, Value: c.op.Value})
+		op = Op{Kind: OpSetLinkCapacity, Link: c.op.Link, Value: c.op.Value}
 		n.SetLinkCapacity(c.op.Link, c.op.Value)
+	}
+	if live {
+		s.record(op)
 	}
 }
 
 func (s *SharedNetwork) record(op Op) {
 	if s.cfg.Record {
 		s.log = append(s.log, op)
+	}
+	if s.cfg.Journal != nil {
+		s.noteJournalErr(s.cfg.Journal.AppendOp(op, s.net.StateDigest()))
+		s.opsSinceSnap++
+	}
+}
+
+// maybeSnapshot appends a journal snapshot once SnapshotEvery ops have been
+// journaled since the last one. Called only at commit boundaries (after an
+// immediate-mode apply or a deterministic-mode commitWindow), never inside
+// an open batch window.
+func (s *SharedNetwork) maybeSnapshot() {
+	j := s.cfg.Journal
+	if j == nil || s.cfg.SnapshotEvery <= 0 || s.opsSinceSnap < s.cfg.SnapshotEvery {
+		return
+	}
+	s.opsSinceSnap = 0
+	s.noteJournalErr(j.AppendSnapshot(s.net.ExportState(), s.net.StateDigest()))
+}
+
+func (s *SharedNetwork) noteJournalErr(err error) {
+	if err != nil && s.journalErr == nil {
+		s.journalErr = err
 	}
 }
 

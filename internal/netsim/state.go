@@ -1,0 +1,221 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// FlowState is one flow's allocator-input state as captured by ExportState:
+// everything that determines the flow's rate except the other flows.
+type FlowState struct {
+	ID     FlowID
+	Links  []LinkID
+	Demand float64
+	Weight float64
+	Tag    string
+}
+
+// NetState is a network's full allocator-input state at one instant: flow
+// set, link capacities, ID counter and rate bound. Rates are deliberately
+// derived data — they are a pure function of this state, so ImportState
+// recomputes them instead of trusting a recording — but LinkRates carries
+// the allocated per-link rates at export time so an external consumer (a
+// journal snapshot, a recovery check) can verify a restored network
+// reproduced them bit for bit.
+type NetState struct {
+	// NextID is the ID the next StartFlow will assign. Restoring it keeps
+	// a snapshot-recovered network assigning the same IDs as the original
+	// run, which tail replay depends on.
+	NextID FlowID
+	// MaxRate is the per-flow rate bound.
+	MaxRate float64
+	// Flows holds every live flow, sorted by ID.
+	Flows []FlowState
+	// Capacities holds every link's capacity, indexed by LinkID.
+	Capacities []float64
+	// LinkRates holds the allocated per-link rates at export time, indexed
+	// by LinkID. Informational: ImportState ignores it.
+	LinkRates []float64
+}
+
+// ExportState captures the network's allocator-input state. The result
+// shares no memory with the network; it can be serialized, stored and
+// re-imported on a fresh network over the same topology.
+func (n *Network) ExportState() NetState {
+	st := NetState{
+		NextID:     n.nextID,
+		MaxRate:    n.MaxRate,
+		Capacities: make([]float64, n.topo.NumLinks()),
+		LinkRates:  make([]float64, n.topo.NumLinks()),
+	}
+	for i, l := range n.topo.links {
+		st.Capacities[i] = l.Capacity
+	}
+	copy(st.LinkRates, n.linkRate)
+	ids := make([]FlowID, 0, len(n.flows))
+	for id := range n.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st.Flows = make([]FlowState, 0, len(ids))
+	for _, id := range ids {
+		f := n.flows[id]
+		st.Flows = append(st.Flows, FlowState{
+			ID: id, Links: linkIDs(f.Path), Demand: f.Demand, Weight: f.Weight, Tag: f.Tag,
+		})
+	}
+	return st
+}
+
+// ImportState restores an exported state onto a fresh network built over an
+// identical topology: capacities are applied, every flow is re-attached
+// with its recorded ID, and the ID counter resumes where the export left
+// off, so replaying a log tail recorded after the export continues exactly
+// as the original run did. Rates are recomputed, not restored — they are a
+// deterministic function of the imported inputs. The network must be
+// fresh: importing over existing flows (or after any StartFlow) is an
+// error.
+func (n *Network) ImportState(st NetState) error {
+	if len(n.flows) != 0 || n.nextID != 0 {
+		return fmt.Errorf("netsim: ImportState on a non-fresh network (%d flows, next ID %d)", len(n.flows), n.nextID)
+	}
+	if len(st.Capacities) != n.topo.NumLinks() {
+		return fmt.Errorf("netsim: ImportState capacity count %d does not match topology's %d links", len(st.Capacities), n.topo.NumLinks())
+	}
+	var err error
+	n.Batch(func() {
+		for i, c := range st.Capacities {
+			if c <= 0 {
+				err = fmt.Errorf("netsim: ImportState non-positive capacity %v for link %d", c, i)
+				return
+			}
+			n.SetLinkCapacity(LinkID(i), c)
+		}
+		if st.MaxRate > 0 {
+			n.SetMaxRate(st.MaxRate)
+		}
+		var prev FlowID = -1
+		for _, fs := range st.Flows {
+			if fs.ID <= prev {
+				err = fmt.Errorf("netsim: ImportState flows not strictly ascending at ID %d", fs.ID)
+				return
+			}
+			prev = fs.ID
+			p, perr := n.topo.pathOf(fs.Links)
+			if perr != nil {
+				err = fmt.Errorf("netsim: ImportState flow %d: %w", fs.ID, perr)
+				return
+			}
+			n.nextID = fs.ID
+			f := n.StartFlow(p, fs.Demand, fs.Tag)
+			if fs.Weight != 0 {
+				n.SetWeight(f, fs.Weight)
+			}
+		}
+		if st.NextID < prev+1 {
+			err = fmt.Errorf("netsim: ImportState NextID %d below last flow ID %d", st.NextID, prev)
+			return
+		}
+		n.nextID = st.NextID
+	})
+	return err
+}
+
+// StateDigest hashes the network's allocator-input state — flow set (IDs,
+// paths, demands, weights, tags), link capacities, ID counter and MaxRate —
+// with FNV-1a. Rates are excluded on purpose: inputs are updated eagerly
+// even inside an open Batch, while rates lag until the batch commits, so an
+// input digest is a well-defined per-op fingerprint in both SharedNetwork
+// modes, and rates are a pure function of the digested inputs anyway. Two
+// networks with equal digests that share an allocator therefore allocate
+// bit-identical rates; the journal records this digest per op, and bisect
+// replays a log until the digests part ways.
+func (n *Network) StateDigest() uint64 {
+	h := newFNV()
+	h.u64(uint64(n.nextID))
+	h.u64(math.Float64bits(n.MaxRate))
+	ids := make([]FlowID, 0, len(n.flows))
+	for id := range n.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := n.flows[id]
+		h.u64(uint64(id))
+		h.u64(math.Float64bits(f.Demand))
+		h.u64(math.Float64bits(f.Weight))
+		h.str(f.Tag)
+		h.u64(uint64(len(f.Path)))
+		for _, l := range f.Path {
+			h.u64(uint64(l.ID))
+		}
+	}
+	for _, l := range n.topo.links {
+		h.u64(math.Float64bits(l.Capacity))
+	}
+	return h.sum
+}
+
+// fnv is an incremental FNV-1a 64 hasher over fixed-width words, shared by
+// StateDigest and the journal's digest checks.
+type fnv struct{ sum uint64 }
+
+func newFNV() *fnv { return &fnv{sum: 1469598103934665603} }
+
+func (h *fnv) byte(b byte) {
+	h.sum ^= uint64(b)
+	h.sum *= 1099511628211
+}
+
+func (h *fnv) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *fnv) str(s string) {
+	h.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+// LinkState is one link of an exported topology.
+type LinkState struct {
+	From, To NodeID
+	Capacity float64
+	Delay    time.Duration
+	Name     string
+}
+
+// TopoState is a topology serialized as data: links in LinkID order. A
+// journal stores one so recovery (and offline tools like bisect) can
+// rebuild the exact graph without access to the scenario code that built
+// it. Capacities here are the construction-time values; runtime
+// SetLinkCapacity edits live in the op log / NetState.
+type TopoState struct {
+	Links []LinkState
+}
+
+// ExportTopology flattens a topology into data.
+func ExportTopology(t *Topology) TopoState {
+	ts := TopoState{Links: make([]LinkState, 0, len(t.links))}
+	for _, l := range t.links {
+		ts.Links = append(ts.Links, LinkState{
+			From: l.From, To: l.To, Capacity: l.Capacity, Delay: l.Delay, Name: l.Name,
+		})
+	}
+	return ts
+}
+
+// Build reconstructs the topology: links are added in order, so LinkIDs
+// match the exported graph.
+func (ts TopoState) Build() *Topology {
+	t := NewTopology()
+	for _, l := range ts.Links {
+		t.AddLink(l.From, l.To, l.Capacity, l.Delay, l.Name)
+	}
+	return t
+}

@@ -11,11 +11,16 @@ fi
 go build ./...
 go vet ./...
 # Fast-fail on the concurrency-heavy packages (sharded collector, merge
-# primitives, shared network + snapshots, looking-glass pollers) and the
-# allocator/control-loop packages (component registry, reaction coalescing)
-# before the full sweep.
+# primitives, shared network + snapshots, looking-glass pollers, event
+# journal) and the allocator/control-loop packages (component registry,
+# reaction coalescing) before the full sweep.
 go test -race ./internal/core/... ./internal/agg/... ./internal/netsim/... \
-	./internal/control/... ./internal/lookingglass/...
+	./internal/control/... ./internal/lookingglass/... ./internal/journal/...
+# The crash-injection sweep: kill the journal at every record boundary (and
+# seeded mid-record offsets) on every topology fixture; recovery must equal
+# a from-scratch serial replay of the surviving prefix.
+go test -race -run 'TestCrashAtEveryRecordBoundary|TestOpenRepairsTornTail|TestTornMiddleSegmentDropsLater' \
+	./internal/journal/
 # The E7 shared-network driver arm: concurrent drivers against one owner
 # goroutine, hammered under the race detector.
 go test -race -run 'TestE7SharedDriverArm|TestE7DriverSweepSkips' ./internal/expt/
