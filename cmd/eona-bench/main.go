@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	eona-bench [-seed N] [-only E2,E8] [-list] [-skip-slow] [-shards 1,2,4,8] [-drivers 1,2,4] [-engine-drivers 1,2,4] [-parallel N] [-v]
+//	eona-bench [-seed N] [-only E2,E8] [-list] [-skip-slow] [-shards 1,2,4,8] [-drivers 1,2,4] [-engine-drivers 1,2,4] [-parallel N] [-alloc] [-v]
 //
 // -only selects a comma-separated subset by experiment ID; -list prints
 // the registry (ID, slow flag, title) and exits. -skip-slow omits the
@@ -18,8 +18,10 @@
 // run under. -parallel runs that many experiments concurrently (0 =
 // GOMAXPROCS); tables still print in suite order. E7's wall-clock rows
 // are only meaningful at -parallel 1, since co-running experiments steal
-// the cycles it is timing. -v appends each table's diagnostic lines (e.g.
-// E7's allocator stats counters).
+// the cycles it is timing. -alloc widens E7's allocator churn and reaction
+// rows with B/op and allocs/op columns (runtime MemStats deltas over each
+// mutation loop). -v appends each table's diagnostic lines (e.g. E7's
+// allocator stats counters).
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 	drivers := flag.String("drivers", "1,2,4", "comma-separated driver counts for E7's shared-network churn rows")
 	engineDrivers := flag.String("engine-drivers", "1,2,4", "comma-separated worker counts for E7's multi-driver engine rows; max also drives E1/E4")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
+	alloc := flag.Bool("alloc", false, "add B/op and allocs/op columns to E7's allocator churn and reaction rows")
 	verbose := flag.Bool("v", false, "print each table's diagnostic lines (allocator stats counters)")
 	flag.Parse()
 
@@ -84,6 +87,7 @@ func main() {
 			ShardCounts:        shardCounts,
 			DriverCounts:       driverCounts,
 			EngineWorkerCounts: engineWorkerCounts,
+			MeasureAllocs:      *alloc,
 		},
 		EngineDrivers: maxWorkers,
 	}

@@ -26,7 +26,12 @@ type Coalescer struct {
 	eng     *sim.Engine
 	commit  func(fns []func())
 	pending []func()
-	armed   bool
+	// free is the previous flush's drained pending buffer, reused by the
+	// next Defer so steady-state ticks don't grow a fresh slice. Kept
+	// separate from pending because a reaction may Defer again while the
+	// commit is still iterating the old buffer.
+	free  []func()
+	armed bool
 }
 
 // NewCoalescer returns a Coalescer committing deferred reactions on net at
@@ -74,13 +79,20 @@ func (c *Coalescer) Defer(fn func()) {
 }
 
 // flush commits all reactions deferred this tick in one batch. A reaction
-// that defers further work re-arms the hook for the same instant.
+// that defers further work re-arms the hook for the same instant; it lands
+// in the spare buffer, never the one the commit is iterating.
 func (c *Coalescer) flush(*sim.Engine) {
 	fns := c.pending
-	c.pending = nil
+	c.pending = c.free[:0]
+	c.free = nil
 	c.armed = false
 	if len(fns) == 0 {
+		c.free = fns
 		return
 	}
 	c.commit(fns)
+	for i := range fns {
+		fns[i] = nil
+	}
+	c.free = fns[:0]
 }

@@ -336,3 +336,22 @@ func BenchmarkShardedCollectorIngest(b *testing.B) {
 		})
 	}
 }
+
+// TestIngestAllocFree pins Collector.Ingest at zero allocations in steady
+// state: once the rollup groups and per-CDN traffic windows exist, ingesting
+// another record must not allocate (the E7 hot loop runs millions of these).
+func TestIngestAllocFree(t *testing.T) {
+	recs := genRecords(1<<12, 1)
+	c := NewCollector("appp-1", ExportPolicy{}, time.Minute, 1)
+	for _, r := range recs {
+		c.Ingest(r) // warm every group and window
+	}
+	i := 0
+	op := func() {
+		c.Ingest(recs[i&(1<<12-1)])
+		i++
+	}
+	if a := testing.AllocsPerRun(500, op); a != 0 {
+		t.Errorf("Collector.Ingest allocates %v allocs/op in steady state, want 0", a)
+	}
+}

@@ -56,6 +56,17 @@ type E7Config struct {
 	// faults in lockstep over a deterministic SharedNetwork — and must
 	// produce the workers=1 digest bit for bit.
 	EngineWorkerCounts []int
+	// MeasureAllocs adds B/op and allocs/op columns to the allocator churn
+	// and reaction rows (eona-bench -alloc), measured from the runtime's
+	// cumulative allocation counters around each mutation loop.
+	MeasureAllocs bool
+}
+
+// E7Alloc is one row's heap cost per operation, measured under -alloc.
+type E7Alloc struct {
+	Measured    bool
+	BytesPerOp  float64
+	AllocsPerOp float64
 }
 
 // E7DriverPoint is one shared-network measurement: mutation throughput
@@ -129,6 +140,11 @@ type E7Result struct {
 	// ChurnAutoTunePerSec repeats the registry run with AutoTuneCutoff
 	// deriving the cutoff (per-component) instead of the fixed default.
 	ChurnAutoTunePerSec float64
+	// Per-mutation heap cost of each churn variant (E7Config.MeasureAllocs).
+	ChurnFullAlloc        E7Alloc
+	ChurnIncrementalAlloc E7Alloc
+	ChurnRegistryAlloc    E7Alloc
+	ChurnAutoTuneAlloc    E7Alloc
 	// ChurnStats snapshots the allocator counters after the registry
 	// churn run (printed under eona-bench -v).
 	ChurnStats netsim.Stats
@@ -141,6 +157,9 @@ type E7Result struct {
 	// ReactFlowsSaved = flows re-solved uncoalesced ÷ coalesced (≥ 2 on
 	// this shape: 8 same-instant reactions over 2 components).
 	ReactFlowsSaved float64
+	// Per-reaction heap cost of each variant (E7Config.MeasureAllocs).
+	ReactUncoalescedAlloc E7Alloc
+	ReactCoalescedAlloc   E7Alloc
 	// ReactStats snapshots the coalesced run's allocator counters.
 	ReactStats netsim.Stats
 
@@ -282,8 +301,27 @@ func RunE7Config(cfg E7Config) E7Result {
 		churnMuts     = 6_000
 		churnCapacity = 50e6
 	)
+	// measureAllocs wraps an ops-long hot loop with the runtime's cumulative
+	// allocation counters (TotalAlloc/Mallocs are monotonic, so concurrent
+	// GC cannot corrupt the deltas) when -alloc asked for heap columns.
+	measureAllocs := func(ops int, loop func()) E7Alloc {
+		if !cfg.MeasureAllocs {
+			loop()
+			return E7Alloc{}
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		loop()
+		runtime.ReadMemStats(&m1)
+		return E7Alloc{
+			Measured:    true,
+			BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
+			AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		}
+	}
+
 	var churnStats netsim.Stats
-	churn := func(cutoff float64, autoTune, useRegistry bool) float64 {
+	churn := func(cutoff float64, autoTune, useRegistry bool) (float64, E7Alloc) {
 		topo := netsim.NewTopology()
 		paths := make([]netsim.Path, churnRails)
 		for r := 0; r < churnRails; r++ {
@@ -307,31 +345,34 @@ func RunE7Config(cfg E7Config) E7Result {
 				}
 			}
 		})
-		t0 := time.Now()
-		for i := 0; i < churnMuts; i++ {
-			// (i + i/len) decorrelates the value from the flow index so
-			// every visit actually changes the demand/weight (the setters
-			// no-op on unchanged values).
-			switch i % 3 {
-			case 0:
-				nw.SetDemand(flows[i%len(flows)], float64(1+(i+i/len(flows))%8)*1e6)
-			case 1:
-				r := i % churnRails
-				nw.StopFlow(flows[r*churnFlows])
-				flows[r*churnFlows] = nw.StartFlow(paths[r], 4e6, "churn")
-			default:
-				nw.SetWeight(flows[i%len(flows)], float64(1+(i+i/len(flows))%4))
+		var rate float64
+		alloc := measureAllocs(churnMuts, func() {
+			t0 := time.Now()
+			for i := 0; i < churnMuts; i++ {
+				// (i + i/len) decorrelates the value from the flow index so
+				// every visit actually changes the demand/weight (the setters
+				// no-op on unchanged values).
+				switch i % 3 {
+				case 0:
+					nw.SetDemand(flows[i%len(flows)], float64(1+(i+i/len(flows))%8)*1e6)
+				case 1:
+					r := i % churnRails
+					nw.StopFlow(flows[r*churnFlows])
+					flows[r*churnFlows] = nw.StartFlow(paths[r], 4e6, "churn")
+				default:
+					nw.SetWeight(flows[i%len(flows)], float64(1+(i+i/len(flows))%4))
+				}
 			}
-		}
-		rate := float64(churnMuts) / time.Since(t0).Seconds()
+			rate = float64(churnMuts) / time.Since(t0).Seconds()
+		})
 		churnStats = nw.Stats()
-		return rate
+		return rate, alloc
 	}
-	res.ChurnFullPerSec = churn(0, false, false) // cutoff 0 forces full recomputation
-	res.ChurnIncrementalPerSec = churn(netsim.DefaultIncrementalCutoff, false, false)
-	res.ChurnRegistryPerSec = churn(netsim.DefaultIncrementalCutoff, false, true)
+	res.ChurnFullPerSec, res.ChurnFullAlloc = churn(0, false, false) // cutoff 0 forces full recomputation
+	res.ChurnIncrementalPerSec, res.ChurnIncrementalAlloc = churn(netsim.DefaultIncrementalCutoff, false, false)
+	res.ChurnRegistryPerSec, res.ChurnRegistryAlloc = churn(netsim.DefaultIncrementalCutoff, false, true)
 	res.ChurnStats = churnStats
-	res.ChurnAutoTunePerSec = churn(netsim.DefaultIncrementalCutoff, true, true)
+	res.ChurnAutoTunePerSec, res.ChurnAutoTuneAlloc = churn(netsim.DefaultIncrementalCutoff, true, true)
 	if res.ChurnFullPerSec > 0 {
 		res.ChurnSpeedup = res.ChurnIncrementalPerSec / res.ChurnFullPerSec
 	}
@@ -345,7 +386,7 @@ func RunE7Config(cfg E7Config) E7Result {
 	// control.Coalescer.
 	const reactTicks, reactPerTick = 4_000, 8
 	var uncoalStats, coalStats netsim.Stats
-	react := func(coalesce bool) float64 {
+	react := func(coalesce bool) (float64, E7Alloc) {
 		const comps, perComp, spread = 4, 8, 2
 		eng := sim.NewEngine(1)
 		topo := netsim.NewTopology()
@@ -383,18 +424,21 @@ func RunE7Config(cfg E7Config) E7Result {
 			}
 			return true
 		})
-		t0 := time.Now()
-		eng.Run(time.Duration(reactTicks+1) * time.Millisecond)
-		el := time.Since(t0).Seconds()
+		var rate float64
+		alloc := measureAllocs(reactTicks*reactPerTick, func() {
+			t0 := time.Now()
+			eng.Run(time.Duration(reactTicks+1) * time.Millisecond)
+			rate = float64(reactTicks*reactPerTick) / time.Since(t0).Seconds()
+		})
 		if coalesce {
 			coalStats = nw.Stats()
 		} else {
 			uncoalStats = nw.Stats()
 		}
-		return float64(reactTicks*reactPerTick) / el
+		return rate, alloc
 	}
-	res.ReactUncoalescedPerSec = react(false)
-	res.ReactCoalescedPerSec = react(true)
+	res.ReactUncoalescedPerSec, res.ReactUncoalescedAlloc = react(false)
+	res.ReactCoalescedPerSec, res.ReactCoalescedAlloc = react(true)
 	res.ReactStats = coalStats
 	if coalStats.FlowsRecomputed > 0 {
 		res.ReactFlowsSaved = float64(uncoalStats.FlowsRecomputed) / float64(coalStats.FlowsRecomputed)
@@ -596,46 +640,66 @@ func measureShardedIngest(recs []core.QoERecord, nsh int) float64 {
 	return float64(len(recs)) / time.Since(start).Seconds()
 }
 
-// Table renders the measurements.
+// Table renders the measurements. When any row carries alloc columns
+// (eona-bench -alloc) the table widens to five columns and rows without a
+// measurement show "-".
 func (r E7Result) Table() *Table {
+	allocMode := r.ChurnFullAlloc.Measured || r.ChurnIncrementalAlloc.Measured ||
+		r.ChurnRegistryAlloc.Measured || r.ChurnAutoTuneAlloc.Measured ||
+		r.ReactUncoalescedAlloc.Measured || r.ReactCoalescedAlloc.Measured
 	t := &Table{
 		Title:   "E7 (§5): A2I pipeline scalability (single core)",
 		Columns: []string{"stage", "throughput", "note"},
 	}
-	t.AddRow("Collector.Ingest (full rollup)",
-		fmt.Sprintf("%.2fM rec/s", r.CollectorPerSec/1e6),
+	if allocMode {
+		t.Columns = []string{"stage", "throughput", "B/op", "allocs/op", "note"}
+	}
+	add := func(stage, throughput string, al E7Alloc, note string) {
+		if !allocMode {
+			t.AddRow(stage, throughput, note)
+			return
+		}
+		bop, aop := "-", "-"
+		if al.Measured {
+			bop = fmt.Sprintf("%.0f", al.BytesPerOp)
+			aop = fmt.Sprintf("%.2f", al.AllocsPerOp)
+		}
+		t.AddRow(stage, throughput, bop, aop, note)
+	}
+	add("Collector.Ingest (full rollup)",
+		fmt.Sprintf("%.2fM rec/s", r.CollectorPerSec/1e6), E7Alloc{},
 		fmt.Sprintf("≈ %.1fB sessions/day", r.ImpliedSessionsPerDay/1e9))
 	for _, p := range r.ShardPoints {
-		t.AddRow(fmt.Sprintf("cluster ingest (%d shards)", p.Shards),
-			fmt.Sprintf("%.2fM rec/s", p.PerSec/1e6),
+		add(fmt.Sprintf("cluster ingest (%d shards)", p.Shards),
+			fmt.Sprintf("%.2fM rec/s", p.PerSec/1e6), E7Alloc{},
 			fmt.Sprintf("%.2f× vs single-goroutine", p.Speedup))
 	}
-	t.AddRow("count-min sketch add",
-		fmt.Sprintf("%.2fM ops/s", r.SketchAddPerSec/1e6),
+	add("count-min sketch add",
+		fmt.Sprintf("%.2fM ops/s", r.SketchAddPerSec/1e6), E7Alloc{},
 		fmt.Sprintf("%.1f MiB at ε=δ=0.1%%", float64(r.SketchMemoryBytes)/(1<<20)))
-	t.AddRow("P² quantile add",
-		fmt.Sprintf("%.2fM ops/s", r.P2AddPerSec/1e6), "O(1) memory")
-	t.AddRow("looking-glass query (loopback)",
-		fmt.Sprintf("p50 %s", r.QueryP50), "auth + encode + HTTP round trip")
-	t.AddRow("allocator churn (full recompute)",
-		fmt.Sprintf("%.1fk muts/s", r.ChurnFullPerSec/1e3),
+	add("P² quantile add",
+		fmt.Sprintf("%.2fM ops/s", r.P2AddPerSec/1e6), E7Alloc{}, "O(1) memory")
+	add("looking-glass query (loopback)",
+		fmt.Sprintf("p50 %s", r.QueryP50), E7Alloc{}, "auth + encode + HTTP round trip")
+	add("allocator churn (full recompute)",
+		fmt.Sprintf("%.1fk muts/s", r.ChurnFullPerSec/1e3), r.ChurnFullAlloc,
 		"512 flows, 64 components, re-solve all per mutation")
-	t.AddRow("allocator churn (incremental, BFS discovery)",
-		fmt.Sprintf("%.1fk muts/s", r.ChurnIncrementalPerSec/1e3),
+	add("allocator churn (incremental, BFS discovery)",
+		fmt.Sprintf("%.1fk muts/s", r.ChurnIncrementalPerSec/1e3), r.ChurnIncrementalAlloc,
 		fmt.Sprintf("affected component only — %.0f× faster", r.ChurnSpeedup))
-	t.AddRow("allocator churn (component registry)",
-		fmt.Sprintf("%.1fk muts/s", r.ChurnRegistryPerSec/1e3),
+	add("allocator churn (component registry)",
+		fmt.Sprintf("%.1fk muts/s", r.ChurnRegistryPerSec/1e3), r.ChurnRegistryAlloc,
 		fmt.Sprintf("persistent membership, no per-commit BFS — %.2f× vs BFS", r.ChurnRegistrySpeedup))
-	t.AddRow("allocator churn (auto-tuned cutoff)",
-		fmt.Sprintf("%.1fk muts/s", r.ChurnAutoTunePerSec/1e3),
+	add("allocator churn (auto-tuned cutoff)",
+		fmt.Sprintf("%.1fk muts/s", r.ChurnAutoTunePerSec/1e3), r.ChurnAutoTuneAlloc,
 		"registry + per-component cutoff tuning")
 	if len(r.DriverPoints) > 0 {
-		t.AddRow("shared-network churn (serial baseline)",
-			fmt.Sprintf("%.1fk muts/s", r.SharedSerialPerSec/1e3),
+		add("shared-network churn (serial baseline)",
+			fmt.Sprintf("%.1fk muts/s", r.SharedSerialPerSec/1e3), E7Alloc{},
 			"same workload on the raw Network, no command channel")
 		for _, p := range r.DriverPoints {
-			t.AddRow(fmt.Sprintf("shared-network churn (%d drivers)", p.Drivers),
-				fmt.Sprintf("%.1fk muts/s", p.PerSec/1e3),
+			add(fmt.Sprintf("shared-network churn (%d drivers)", p.Drivers),
+				fmt.Sprintf("%.1fk muts/s", p.PerSec/1e3), E7Alloc{},
 				fmt.Sprintf("%.2f× vs direct serial; snapshot reader live", p.Speedup))
 		}
 	}
@@ -644,17 +708,21 @@ func (r E7Result) Table() *Table {
 		if !p.Identical {
 			ident = "DIGEST MISMATCH vs workers=1"
 		}
-		t.AddRow(fmt.Sprintf("multi-driver engine (%d workers)", p.Workers),
-			fmt.Sprintf("%.1fk ev/s", p.PerSec/1e3),
+		add(fmt.Sprintf("multi-driver engine (%d workers)", p.Workers),
+			fmt.Sprintf("%.1fk ev/s", p.PerSec/1e3), E7Alloc{},
 			fmt.Sprintf("%.2f× vs 1 worker; %s", p.Speedup, ident))
 	}
 	if r.ReactUncoalescedPerSec > 0 {
-		t.AddRow("reaction churn (uncoalesced)",
-			fmt.Sprintf("%.1fk react/s", r.ReactUncoalescedPerSec/1e3),
+		add("reaction churn (uncoalesced)",
+			fmt.Sprintf("%.1fk react/s", r.ReactUncoalescedPerSec/1e3), r.ReactUncoalescedAlloc,
 			"8 same-instant reactions → 8 reallocations per tick")
-		t.AddRow("reaction churn (coalesced end-of-tick)",
-			fmt.Sprintf("%.1fk react/s", r.ReactCoalescedPerSec/1e3),
+		add("reaction churn (coalesced end-of-tick)",
+			fmt.Sprintf("%.1fk react/s", r.ReactCoalescedPerSec/1e3), r.ReactCoalescedAlloc,
 			fmt.Sprintf("one batch per tick — %.1f× fewer flows re-solved", r.ReactFlowsSaved))
+	}
+	if allocMode {
+		t.Notes = append(t.Notes,
+			"B/op and allocs/op are runtime MemStats deltas over each mutation loop (-alloc); lifecycle restarts keep the per-flow handle allocation")
 	}
 	t.Notes = append(t.Notes,
 		"paper: 'tens [of] millions of sessions each day' — one core covers that with orders of magnitude to spare")

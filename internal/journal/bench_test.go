@@ -102,3 +102,27 @@ func BenchmarkJournalReplay(b *testing.B) {
 		}
 	}
 }
+
+// TestAppendOpAllocFree pins the SyncNever append path at zero allocations:
+// frame and payload encoding reuse the writer's scratch buffers, so journal
+// capture adds no GC pressure to the owner goroutine's commit loop.
+func TestAppendOpAllocFree(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Config{Dir: dir, SegmentBytes: 1 << 30, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	op := netsim.Op{Kind: netsim.OpSetDemand, Flow: 7, Value: 42}
+	i := uint64(0)
+	append1 := func() {
+		if err := w.AppendOp(op, i); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	append1() // warm the scratch buffers
+	if a := testing.AllocsPerRun(500, append1); a != 0 {
+		t.Errorf("AppendOp (SyncNever) allocates %v allocs/op, want 0", a)
+	}
+}

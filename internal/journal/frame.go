@@ -58,13 +58,15 @@ func appendFrame(buf []byte, typ byte, payload []byte) []byte {
 	if len(payload) > MaxFrame {
 		panic(fmt.Sprintf("journal: %d-byte record exceeds MaxFrame", len(payload)))
 	}
-	var hdr [frameHeader]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	hdr[8] = typ
-	crc := crc32.Update(0, crcTable, hdr[8:9])
+	// The header is built in buf itself rather than a local array: crc32's
+	// dispatch is an indirect call, and handing it a stack array would force
+	// that array to the heap — one allocation per record.
+	off := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0, typ)
+	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(payload)))
+	crc := crc32.Update(0, crcTable, buf[off+8:off+9])
 	crc = crc32.Update(crc, crcTable, payload)
-	binary.LittleEndian.PutUint32(hdr[4:8], crc)
-	buf = append(buf, hdr[:]...)
+	binary.LittleEndian.PutUint32(buf[off+4:off+8], crc)
 	return append(buf, payload...)
 }
 

@@ -107,7 +107,8 @@ type Writer struct {
 	size    int64 // bytes written to the active segment
 	seg     int   // active segment index
 	opCount uint64
-	buf     []byte
+	buf     []byte // frame-encode scratch, reused per record
+	payload []byte // payload-encode scratch, reused per record
 	err     error
 }
 
@@ -293,7 +294,8 @@ func (w *Writer) AppendTopology(ts netsim.TopoState) error {
 func (w *Writer) AppendOp(op netsim.Op, digest uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.appendLocked(recOp, appendOpPayload(nil, op, digest)); err != nil {
+	w.payload = appendOpPayload(w.payload[:0], op, digest)
+	if err := w.appendLocked(recOp, w.payload); err != nil {
 		return err
 	}
 	w.opCount++
@@ -305,7 +307,8 @@ func (w *Writer) AppendOp(op netsim.Op, digest uint64) error {
 func (w *Writer) AppendSnapshot(st netsim.NetState, digest uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.appendLocked(recNetSnap, appendSnapPayload(nil, w.opCount, st, digest))
+	w.payload = appendSnapPayload(w.payload[:0], w.opCount, st, digest)
+	return w.appendLocked(recNetSnap, w.payload)
 }
 
 // AppendOpaque implements netsim.OpSink: marks an opaque Batch mutation the

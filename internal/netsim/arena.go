@@ -1,0 +1,227 @@
+package netsim
+
+import (
+	"math"
+	"slices"
+)
+
+// Index arena: the struct-of-arrays (SoA) core of the allocator.
+//
+// Every live flow owns a dense arena index, assigned at StartFlow and
+// recycled through a freelist at StopFlow, so the allocator's inner loops
+// can run over parallel []float64 demand/weight/rate slices and []int32
+// path adjacency instead of chasing *Flow pointers and map entries. The
+// arena mirrors exactly the inputs the progressive filler reads — demand
+// (post-clamp), effective weight (weight(): ≤0 means 1) and the path's link
+// IDs — and is kept in lockstep by the mutation surface regardless of
+// whether the SoA fill is enabled, so UseSoA can be toggled for
+// differential testing without rebuilding anything.
+//
+// "Seen" bookkeeping (component expansion, link dedup, split checks) uses
+// epoch-stamped marks instead of clear-after-use bitmaps: a flow or link is
+// seen iff its stamp equals the current epoch, so starting a fresh mark set
+// is one counter increment and nothing is ever cleared. See DESIGN.md
+// "Index arena & SoA fill".
+
+// noIdx marks a detached flow's arena index.
+const noIdx = -1
+
+// arenaAttach assigns f a dense arena index (recycling the freelist) and
+// mirrors its allocator inputs into the parallel arrays. Call after f's
+// fields are final for this attach.
+func (n *Network) arenaAttach(f *Flow) {
+	var i int32
+	if k := len(n.arFree); k > 0 {
+		i = n.arFree[k-1]
+		n.arFree = n.arFree[:k-1]
+	} else {
+		i = int32(len(n.arFlow))
+		n.arFlow = append(n.arFlow, nil)
+		n.arID = append(n.arID, 0)
+		n.arDemand = append(n.arDemand, 0)
+		n.arWeight = append(n.arWeight, 0)
+		n.arRate = append(n.arRate, 0)
+		n.arPath = append(n.arPath, nil)
+		n.flowMark = append(n.flowMark, 0)
+	}
+	f.idx = i
+	n.arFlow[i] = f
+	n.arID[i] = f.ID
+	n.arDemand[i] = f.Demand
+	n.arWeight[i] = f.weight()
+	n.arRate[i] = 0
+	n.arenaSetPath(f)
+	n.flowMark[i] = 0
+}
+
+// arenaDetach releases f's arena index back to the freelist.
+func (n *Network) arenaDetach(f *Flow) {
+	i := f.idx
+	n.arFlow[i] = nil
+	n.arRate[i] = 0
+	n.arFree = append(n.arFree, i)
+	f.idx = noIdx
+}
+
+// arenaSetPath refreshes the []int32 path adjacency for f's slot, reusing
+// the slot's previous backing array.
+func (n *Network) arenaSetPath(f *Flow) {
+	p := n.arPath[f.idx][:0]
+	for _, l := range f.Path {
+		p = append(p, int32(l.ID))
+	}
+	n.arPath[f.idx] = p
+}
+
+// --- epoch-stamped seen marks ----------------------------------------------
+
+// bumpEpoch starts a fresh "seen" mark set for flows and links: all existing
+// stamps become stale in O(1).
+func (n *Network) bumpEpoch() { n.epoch++ }
+
+func (n *Network) flowSeen(f *Flow) bool { return n.flowMark[f.idx] == n.epoch }
+func (n *Network) markFlow(f *Flow)      { n.flowMark[f.idx] = n.epoch }
+func (n *Network) linkSeen(id LinkID) bool {
+	return n.linkMark[id] == n.epoch
+}
+func (n *Network) markLink(id LinkID) { n.linkMark[id] = n.epoch }
+
+// --- SoA progressive fill ----------------------------------------------------
+
+// sortIdxsByID orders arena indices by ascending FlowID — the canonical
+// component order fill expects.
+func (n *Network) sortIdxsByID(idxs []int32) {
+	ids := n.arID
+	slices.SortFunc(idxs, func(a, b int32) int {
+		switch {
+		case ids[a] < ids[b]:
+			return -1
+		case ids[a] > ids[b]:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// growFillScratch sizes the per-component rate/frozen scratch.
+func (n *Network) growFillScratch(k int) {
+	if cap(n.scratchRate) < k {
+		n.scratchRate = make([]float64, k)
+		n.scratchFrozen = make([]bool, k)
+	}
+}
+
+// fillSoA is fill() over arena indices: the same progressive-filling
+// arithmetic, reading demands and weights from the parallel arrays and the
+// []int32 adjacency instead of *Flow fields. Performing the identical float
+// operations in the identical order keeps its rates bit-identical to
+// fillRef — pinned by the SoA on/off differential tests.
+//
+// idxs must be sorted by flow ID and links must be exactly the links those
+// flows cross.
+func (n *Network) fillSoA(idxs []int32, links []LinkID) {
+	n.FlowsRecomputed += uint64(len(idxs))
+	n.ComponentsRecomputed++
+	avail, weight := n.scratchAvail, n.scratchWeight
+	for _, id := range links {
+		avail[id] = n.topo.links[id].Capacity
+		weight[id] = 0
+		n.linkRate[id] = 0
+		n.markRateDirty(id)
+	}
+	for _, i := range idxs {
+		w := n.arWeight[i]
+		for _, l := range n.arPath[i] {
+			weight[l] += w
+		}
+	}
+
+	n.growFillScratch(len(idxs))
+	rate := n.scratchRate[:len(idxs)]
+	frozen := n.scratchFrozen[:len(idxs)]
+	for i := range frozen {
+		frozen[i] = false
+	}
+	unfrozen := len(idxs)
+	for unfrozen > 0 {
+		level := math.Inf(1)
+		for _, id := range links {
+			if weight[id] > 0 {
+				if s := avail[id] / weight[id]; s < level {
+					level = s
+				}
+			}
+		}
+		frozeAny := false
+		for k, i := range idxs {
+			if frozen[k] {
+				continue
+			}
+			w := n.arWeight[i]
+			d := math.Min(n.arDemand[i], n.MaxRate)
+			if d/w <= level {
+				rate[k] = d
+				frozen[k] = true
+				unfrozen--
+				frozeAny = true
+				for _, l := range n.arPath[i] {
+					avail[l] -= d
+					if avail[l] < 0 {
+						avail[l] = 0
+					}
+					weight[l] -= w
+					if weight[l] < 0 {
+						weight[l] = 0
+					}
+				}
+			}
+		}
+		if frozeAny {
+			continue
+		}
+		const eps = 1e-9
+		for k, i := range idxs {
+			if frozen[k] {
+				continue
+			}
+			w := n.arWeight[i]
+			bottlenecked := false
+			for _, l := range n.arPath[i] {
+				if weight[l] > 0 && avail[l]/weight[l] <= level*(1+eps)+eps {
+					bottlenecked = true
+					break
+				}
+			}
+			if bottlenecked {
+				r := level * w
+				rate[k] = r
+				frozen[k] = true
+				unfrozen--
+				frozeAny = true
+				for _, l := range n.arPath[i] {
+					avail[l] -= r
+					if avail[l] < 0 {
+						avail[l] = 0
+					}
+					weight[l] -= w
+					if weight[l] < 0 {
+						weight[l] = 0
+					}
+				}
+			}
+		}
+		if !frozeAny {
+			panic("netsim: progressive filling made no progress")
+		}
+	}
+
+	for k, i := range idxs {
+		r := rate[k]
+		n.arRate[i] = r
+		n.arFlow[i].Rate = r
+		for _, l := range n.arPath[i] {
+			n.linkRate[l] += r
+		}
+	}
+}

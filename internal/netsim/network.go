@@ -3,7 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -28,6 +28,9 @@ type Flow struct {
 	// Tag is an opaque scenario label ("cdnX", "appP2") used by
 	// experiments to group flows when reading link statistics.
 	Tag string
+	// idx is the flow's dense arena index (arena.go) while attached, and
+	// noIdx when detached.
+	idx int32
 }
 
 func (f *Flow) weight() float64 {
@@ -95,6 +98,13 @@ type Network struct {
 	// touched components in O(dirty set). Disable before starting any
 	// flows to get the BFS path (differential tests, benchmarks).
 	UseRegistry bool
+	// UseSoA routes progressive fills through the arena-backed SoA filler
+	// (fillSoA, arena.go): parallel demand/weight/rate arrays and []int32
+	// path adjacency instead of *Flow pointer chasing, and no per-fill
+	// allocation. NewNetwork enables it; disable (any time) to force the
+	// pointer-walking reference filler — rates are bit-identical either
+	// way, pinned by the SoA on/off differential tests.
+	UseSoA bool
 	// comp is the registry's flow→component membership; nil entries never
 	// occur for live flows while UseRegistry is set from the start.
 	comp map[FlowID]*component
@@ -129,12 +139,59 @@ type Network struct {
 	// entries for the component being filled are initialized).
 	scratchAvail  []float64
 	scratchWeight []float64
-	scratchSeenL  []bool
+
+	// Index arena (arena.go): parallel arrays over dense flow indices,
+	// kept in lockstep by the mutators regardless of UseSoA.
+	arFlow   []*Flow
+	arID     []FlowID
+	arDemand []float64
+	arWeight []float64 // effective weight (weight())
+	arRate   []float64
+	arPath   [][]int32
+	arFree   []int32 // freelist of recycled arena indices
+
+	// Epoch-stamped "seen" marks (arena.go): a flow/link is seen iff its
+	// stamp equals epoch, so clearing a mark set is one increment.
+	flowMark []uint64 // by arena index
+	linkMark []uint64 // by LinkID
+	epoch    uint64
+
+	// Scratch reused across commits; never escapes a single reallocate.
+	scratchStack    []*Flow   // expand's DFS stack
+	scratchSeeds    []*Flow   // BFS reallocate's deduped seed list
+	scratchFlows    []*Flow   // discovered component members, flat
+	scratchLinks    []LinkID  // discovered component links, flat
+	scratchEnds     [][2]int  // per-component [flowEnd, linkEnd] boundaries
+	scratchIdxs     []int32   // discovery-side index list (fullRealloc)
+	scratchFillIdxs []int32   // fill-dispatcher index list (must be distinct)
+	scratchRate     []float64 // per-component fill rates
+	scratchFrozen   []bool    // per-component fill freeze marks
+	scratchComps    []*component
+	scratchFracs    []float64
+	compPool        []*component // recycled component husks (cleared maps)
+
+	// Snapshot copy-on-write bookkeeping (snapshot.go): per-facet dirty
+	// flags consumed by SharedNetwork's snapshotDelta, and per-component
+	// chunk slots for the flow table.
+	slotComp     []*component // slot → owning component (nil when free)
+	slotFree     []int32      // freelist of chunk slots
+	chunkDirty   []bool       // slot → chunk rates/demands need rebuild
+	chunkStatic  []bool       // slot → chunk membership/weights changed too
+	dirtyChunks  int
+	rateDirty    []bool          // link → rate changed since last delta snapshot
+	rateList     []LinkID        // the set bits of rateDirty, in mark order
+	rateAll      bool            // every link rate may have changed (full realloc)
+	snapCap      bool            // a link capacity changed
+	snapOn       bool            // flowsOn/activeOn changed
+	snapAllFlows bool            // flow table must be fully rebuilt
+	snapIndex    bool            // flow→chunk index must be rebuilt
+	snapDelay    []time.Duration // immutable per-link delays, shared by snapshots
+	activeOn     []int32         // per-link count of flows with Demand > 0
 }
 
 // NewNetwork wraps a topology. The topology must not gain links afterwards.
 func NewNetwork(t *Topology) *Network {
-	return &Network{
+	n := &Network{
 		topo:              t,
 		flows:             make(map[FlowID]*Flow),
 		linkRate:          make([]float64, t.NumLinks()),
@@ -142,13 +199,21 @@ func NewNetwork(t *Topology) *Network {
 		MaxRate:           DefaultMaxRate,
 		IncrementalCutoff: DefaultIncrementalCutoff,
 		UseRegistry:       true,
+		UseSoA:            true,
 		comp:              make(map[FlowID]*component),
 		dirtyFlows:        make(map[FlowID]struct{}),
 		dirtyLinks:        make(map[LinkID]struct{}),
 		scratchAvail:      make([]float64, t.NumLinks()),
 		scratchWeight:     make([]float64, t.NumLinks()),
-		scratchSeenL:      make([]bool, t.NumLinks()),
+		linkMark:          make([]uint64, t.NumLinks()),
+		rateDirty:         make([]bool, t.NumLinks()),
+		activeOn:          make([]int32, t.NumLinks()),
+		snapDelay:         make([]time.Duration, t.NumLinks()),
 	}
+	for i := range n.snapDelay {
+		n.snapDelay[i] = t.links[i].Delay
+	}
+	return n
 }
 
 // Topology returns the underlying topology.
@@ -261,11 +326,24 @@ func (n *Network) startFlowAs(f *Flow, path Path, demand float64, tag string) {
 	n.nextID++
 	n.flows[f.ID] = f
 	n.indexFlow(f)
+	n.arenaAttach(f)
 	if n.UseRegistry {
 		n.regAdd(f)
 	}
+	if demand > 0 {
+		n.bumpActive(path, 1)
+	}
+	n.snapOn = true
 	n.markFlowDirty(f)
 	n.commit()
+}
+
+// bumpActive adjusts the incremental per-link active-flow counters for a
+// flow with positive demand entering (+1) or leaving (-1) the links of p.
+func (n *Network) bumpActive(p Path, delta int32) {
+	for _, l := range p {
+		n.activeOn[l.ID] += delta
+	}
 }
 
 // StopFlow detaches a flow and reallocates. Stopping an unknown or
@@ -279,6 +357,11 @@ func (n *Network) StopFlow(f *Flow) {
 	if n.UseRegistry {
 		n.regRemove(f)
 	}
+	n.arenaDetach(f)
+	if f.Demand > 0 {
+		n.bumpActive(f.Path, -1)
+	}
+	n.snapOn = true
 	delete(n.dirtyFlows, f.ID)
 	f.Rate = 0
 	n.markPathDirty(f.Path)
@@ -297,7 +380,16 @@ func (n *Network) SetDemand(f *Flow, demand float64) {
 	if f.Demand == demand {
 		return
 	}
+	if (f.Demand > 0) != (demand > 0) {
+		if demand > 0 {
+			n.bumpActive(f.Path, 1)
+		} else {
+			n.bumpActive(f.Path, -1)
+		}
+		n.snapOn = true
+	}
 	f.Demand = demand
+	n.arDemand[f.idx] = demand
 	n.markFlowDirty(f)
 	n.commit()
 }
@@ -312,6 +404,12 @@ func (n *Network) SetWeight(f *Flow, weight float64) {
 		return
 	}
 	f.Weight = weight
+	n.arWeight[f.idx] = f.weight()
+	if n.UseRegistry {
+		if c := n.comp[f.ID]; c != nil {
+			n.markChunkStatic(c) // weight is a static snapshot field
+		}
+	}
 	n.markFlowDirty(f)
 	n.commit()
 }
@@ -331,11 +429,19 @@ func (n *Network) SetPath(f *Flow, path Path) {
 		n.regRemove(f) // leaves the old component, possibly marking it stale
 	}
 	n.markPathDirty(f.Path) // the links the flow is leaving
+	if f.Demand > 0 {
+		n.bumpActive(f.Path, -1)
+	}
 	f.Path = path
+	n.arenaSetPath(f)
 	n.indexFlow(f)
 	if n.UseRegistry {
 		n.regAdd(f) // joins (or founds) the component of the new path
 	}
+	if f.Demand > 0 {
+		n.bumpActive(path, 1)
+	}
+	n.snapOn = true
 	n.markFlowDirty(f)
 	n.commit()
 }
@@ -356,6 +462,7 @@ func (n *Network) SetLinkCapacity(id LinkID, capacity float64) {
 		return
 	}
 	l.Capacity = capacity
+	n.snapCap = true
 	n.dirtyLinks[id] = struct{}{}
 	n.commit()
 }
@@ -436,56 +543,56 @@ func (n *Network) reallocate() {
 		n.reallocateRegistry()
 		return
 	}
+	// The BFS path doesn't maintain per-component snapshot chunks; any
+	// published snapshot rebuilds its flow table from scratch.
+	n.snapAllFlows = true
 
 	// Seed the component search from explicitly dirtied flows and from
-	// every flow crossing a dirtied link.
-	seen := make(map[FlowID]bool)
-	var seeds []*Flow
+	// every flow crossing a dirtied link, deduplicated under one epoch.
+	n.bumpEpoch()
+	seeds := n.scratchSeeds[:0]
 	for id := range n.dirtyFlows {
-		if f, ok := n.flows[id]; ok && !seen[id] {
-			seen[id] = true
+		if f, ok := n.flows[id]; ok && !n.flowSeen(f) {
+			n.markFlow(f)
 			seeds = append(seeds, f)
 		}
 	}
 	for id := range n.dirtyLinks {
-		for fid, f := range n.linkFlows[id] {
-			if !seen[fid] {
-				seen[fid] = true
+		for _, f := range n.linkFlows[id] {
+			if !n.flowSeen(f) {
+				n.markFlow(f)
 				seeds = append(seeds, f)
 			}
 		}
 	}
+	n.scratchSeeds = seeds
 
-	// Expand seeds to full components and fill each. Components are
-	// discovered one seed at a time; seeds already swallowed by an
-	// earlier component are skipped via visited.
-	var compFlows [][]*Flow
-	var compLinks [][]LinkID
-	var allLinks []LinkID
-	affected := 0
+	// Expand seeds to full components under a fresh epoch (seed marks
+	// from the dedup pass above must not read as "already expanded").
+	// Components land flat in scratchFlows/scratchLinks with per-component
+	// end boundaries; seeds swallowed by an earlier expansion are skipped.
+	n.bumpEpoch()
+	flowsFlat := n.scratchFlows[:0]
+	linksFlat := n.scratchLinks[:0]
+	ends := n.scratchEnds[:0]
 	full := false
 	cutoff := int(n.IncrementalCutoff * float64(len(n.flows)))
-	visited := make(map[FlowID]bool)
 	for _, seed := range seeds {
-		if visited[seed.ID] {
+		if n.flowSeen(seed) {
 			continue
 		}
-		flows, links := n.expand(seed, visited)
-		allLinks = append(allLinks, links...)
-		affected += len(flows)
+		flowsFlat, linksFlat = n.expand(seed, flowsFlat, linksFlat)
+		ends = append(ends, [2]int{len(flowsFlat), len(linksFlat)})
 		// Under auto-tuning, keep expanding so the tuner sees the true
 		// affected fraction; the full-vs-incremental decision is made
 		// afterwards against the freshly tuned cutoff.
-		if !n.AutoTuneCutoff && affected > cutoff {
+		if !n.AutoTuneCutoff && len(flowsFlat) > cutoff {
 			full = true
 			break
 		}
-		compFlows = append(compFlows, flows)
-		compLinks = append(compLinks, links)
 	}
-	for _, id := range allLinks {
-		n.scratchSeenL[id] = false
-	}
+	affected := len(flowsFlat)
+	n.scratchFlows, n.scratchLinks, n.scratchEnds = flowsFlat, linksFlat, ends
 	if n.AutoTuneCutoff {
 		frac := 0.0
 		if len(n.flows) > 0 {
@@ -501,73 +608,95 @@ func (n *Network) reallocate() {
 		return
 	}
 	n.IncrementalReallocations++
-	for i := range compFlows {
-		n.fill(compFlows[i], compLinks[i])
+	f0, l0 := 0, 0
+	for _, e := range ends {
+		n.fill(flowsFlat[f0:e[0]], linksFlat[l0:e[1]])
+		f0, l0 = e[0], e[1]
 	}
 	// A dirtied link that no longer carries any flow belongs to no
 	// component; zero its stale allocation.
 	for id := range n.dirtyLinks {
 		if len(n.linkFlows[id]) == 0 {
 			n.linkRate[id] = 0
+			n.markRateDirty(id)
 		}
 	}
 	n.clearDirty()
 }
 
-// expand grows the connected component containing seed: flow → its links →
-// every flow on those links, transitively. visited marks flows across
-// components; scratchSeenL marks links and is reset by resetSeenLinks.
-func (n *Network) expand(seed *Flow, visited map[FlowID]bool) (flows []*Flow, links []LinkID) {
-	stack := []*Flow{seed}
-	visited[seed.ID] = true
+// flowIDCmp orders flows by ascending ID — the canonical component order.
+func flowIDCmp(a, b *Flow) int {
+	switch {
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// expand grows the connected component containing seed — flow → its links →
+// every flow on those links, transitively — appending members and links to
+// the caller's buffers and returning them extended. Seen marks are epoch
+// stamps: the caller bumps the epoch once per discovery pass, so nothing is
+// cleared afterwards. The appended flow range is sorted by ID.
+func (n *Network) expand(seed *Flow, flows []*Flow, links []LinkID) ([]*Flow, []LinkID) {
+	f0 := len(flows)
+	stack := append(n.scratchStack[:0], seed)
+	n.markFlow(seed)
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		flows = append(flows, f)
 		for _, l := range f.Path {
-			if n.scratchSeenL[l.ID] {
+			if n.linkSeen(l.ID) {
 				continue
 			}
-			n.scratchSeenL[l.ID] = true
+			n.markLink(l.ID)
 			links = append(links, l.ID)
-			for fid, g := range n.linkFlows[l.ID] {
-				if !visited[fid] {
-					visited[fid] = true
+			for _, g := range n.linkFlows[l.ID] {
+				if !n.flowSeen(g) {
+					n.markFlow(g)
 					stack = append(stack, g)
 				}
 			}
 		}
 	}
-	sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+	n.scratchStack = stack
+	slices.SortFunc(flows[f0:], flowIDCmp)
 	return flows, links
 }
 
 // fullRealloc recomputes every component from scratch.
 func (n *Network) fullRealloc() {
+	n.rateAll = true
+	n.snapAllFlows = true
 	for i := range n.linkRate {
 		n.linkRate[i] = 0
 	}
 	if len(n.flows) == 0 {
 		return
 	}
-	// Deterministic component order: walk flows by ascending ID.
-	ids := make([]FlowID, 0, len(n.flows))
-	for id := range n.flows {
-		ids = append(ids, id)
+	// Deterministic component order: walk live arena slots by ascending
+	// flow ID.
+	idxs := n.scratchIdxs[:0]
+	for i, f := range n.arFlow {
+		if f != nil {
+			idxs = append(idxs, int32(i))
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	visited := make(map[FlowID]bool, len(ids))
-	var seenLinks []LinkID
-	for _, id := range ids {
-		if visited[id] {
+	n.sortIdxsByID(idxs)
+	n.scratchIdxs = idxs
+	n.bumpEpoch()
+	for _, i := range idxs {
+		seed := n.arFlow[i]
+		if n.flowSeen(seed) {
 			continue
 		}
-		flows, links := n.expand(n.flows[id], visited)
-		seenLinks = append(seenLinks, links...)
+		flows, links := n.expand(seed, n.scratchFlows[:0], n.scratchLinks[:0])
+		n.scratchFlows, n.scratchLinks = flows, links
 		n.fill(flows, links)
-	}
-	for _, id := range seenLinks {
-		n.scratchSeenL[id] = false
 	}
 }
 
@@ -584,8 +713,24 @@ func (n *Network) fullRealloc() {
 // fill is a deterministic function of (flow IDs, paths, demands, weights,
 // link capacities, MaxRate): recomputing an unchanged component reproduces
 // its rates byte-identically, which is what the differential test in
-// batch_test.go leans on.
+// batch_test.go leans on. Under UseSoA the arithmetic runs over the arena's
+// parallel arrays (fillSoA, arena.go); the float operations and their order
+// are identical, so the two fillers are bit-identical.
 func (n *Network) fill(flows []*Flow, links []LinkID) {
+	if n.UseSoA {
+		idxs := n.scratchFillIdxs[:0]
+		for _, f := range flows {
+			idxs = append(idxs, f.idx)
+		}
+		n.scratchFillIdxs = idxs
+		n.fillSoA(idxs, links)
+		return
+	}
+	n.fillRef(flows, links)
+}
+
+// fillRef is the pointer-walking reference filler; see fill.
+func (n *Network) fillRef(flows []*Flow, links []LinkID) {
 	n.FlowsRecomputed += uint64(len(flows))
 	n.ComponentsRecomputed++
 	avail, weight := n.scratchAvail, n.scratchWeight
@@ -593,6 +738,7 @@ func (n *Network) fill(flows []*Flow, links []LinkID) {
 		avail[id] = n.topo.links[id].Capacity
 		weight[id] = 0
 		n.linkRate[id] = 0
+		n.markRateDirty(id)
 	}
 	for _, f := range flows {
 		for _, l := range f.Path {
@@ -600,8 +746,12 @@ func (n *Network) fill(flows []*Flow, links []LinkID) {
 		}
 	}
 
-	rate := make([]float64, len(flows))
-	frozen := make([]bool, len(flows))
+	n.growFillScratch(len(flows))
+	rate := n.scratchRate[:len(flows)]
+	frozen := n.scratchFrozen[:len(flows)]
+	for i := range frozen {
+		frozen[i] = false
+	}
 	unfrozen := len(flows)
 	for unfrozen > 0 {
 		// Fill level λ (rate per unit weight): the smallest over
@@ -686,6 +836,7 @@ func (n *Network) fill(flows []*Flow, links []LinkID) {
 
 	for i, f := range flows {
 		f.Rate = rate[i]
+		n.arRate[f.idx] = rate[i]
 		for _, l := range f.Path {
 			n.linkRate[l.ID] += rate[i]
 		}

@@ -1,6 +1,6 @@
 package netsim
 
-import "sort"
+import "slices"
 
 // Component registry: persistent flow→component membership.
 //
@@ -32,6 +32,9 @@ import "sort"
 // member map into the larger (O(n log n) pointer moves amortized over a
 // component's lifetime), and deleting a flow is a plain map delete — no
 // tombstones to leak over millions of session arrivals and departures.
+// Retired components (emptied, or the loser of a union) park in a pool with
+// their member maps cleared, so steady-state churn recycles husks instead of
+// allocating.
 type component struct {
 	flows map[FlowID]*Flow
 	// stale marks that a removal may have disconnected this component: it
@@ -41,6 +44,10 @@ type component struct {
 	// mark is scratch used by reallocateRegistry to dedupe the touched
 	// set without allocating; always false between commits.
 	mark bool
+	// slot is the component's snapshot chunk slot (snapshot.go): published
+	// snapshots cache one FlowView chunk per component and share the
+	// chunks of components untouched since the previous snapshot.
+	slot int32
 }
 
 // regAdd registers a newly indexed flow: it starts as a singleton component
@@ -48,7 +55,8 @@ type component struct {
 // on one link already share a component, inspecting a single co-resident
 // per link suffices.
 func (n *Network) regAdd(f *Flow) {
-	c := &component{flows: map[FlowID]*Flow{f.ID: f}}
+	c := n.newComp()
+	c.flows[f.ID] = f
 	n.comp[f.ID] = c
 	for _, l := range f.Path {
 		for gid := range n.linkFlows[l.ID] {
@@ -59,11 +67,13 @@ func (n *Network) regAdd(f *Flow) {
 			break
 		}
 	}
+	n.markChunkStatic(c)
+	n.snapIndex = true
 }
 
 // regUnion merges two components, moving the smaller member map into the
 // larger, and returns the survivor. Staleness is contagious: a superset of
-// a stale superset is still only a superset.
+// a stale superset is still only a superset. The loser's husk is pooled.
 func (n *Network) regUnion(a, b *component) *component {
 	if a == b {
 		return a
@@ -78,6 +88,8 @@ func (n *Network) regUnion(a, b *component) *component {
 	if b.stale {
 		a.stale = true
 	}
+	n.markChunkStatic(a)
+	n.retireComp(b)
 	return a
 }
 
@@ -85,7 +97,7 @@ func (n *Network) regUnion(a, b *component) *component {
 // removal half of SetPath). Must run after unindexFlow and before f.Path is
 // replaced. The surviving component is marked stale only when the removal
 // could actually have disconnected it (removalMaySplit); empty components
-// are dropped entirely so long-running sims don't accumulate husks.
+// are retired entirely so long-running sims don't accumulate husks.
 func (n *Network) regRemove(f *Flow) {
 	c := n.comp[f.ID]
 	if c == nil {
@@ -93,7 +105,13 @@ func (n *Network) regRemove(f *Flow) {
 	}
 	delete(n.comp, f.ID)
 	delete(c.flows, f.ID)
-	if len(c.flows) == 0 || c.stale {
+	n.snapIndex = true
+	if len(c.flows) == 0 {
+		n.retireComp(c)
+		return
+	}
+	n.markChunkStatic(c)
+	if c.stale {
 		return
 	}
 	if n.removalMaySplit(f) {
@@ -111,16 +129,15 @@ func (n *Network) regRemove(f *Flow) {
 // runs. When neither condition holds the caller conservatively marks the
 // component stale; a false positive only costs one lazy re-split.
 func (n *Network) removalMaySplit(f *Flow) bool {
-	var populated []LinkID
+	n.bumpEpoch()
+	populated := n.scratchLinks[:0]
 	for _, l := range f.Path {
-		if len(n.linkFlows[l.ID]) > 0 && !n.scratchSeenL[l.ID] {
-			n.scratchSeenL[l.ID] = true
+		if len(n.linkFlows[l.ID]) > 0 && !n.linkSeen(l.ID) {
+			n.markLink(l.ID)
 			populated = append(populated, l.ID)
 		}
 	}
-	for _, id := range populated {
-		n.scratchSeenL[id] = false
-	}
+	n.scratchLinks = populated
 	if len(populated) <= 1 {
 		return false
 	}
@@ -130,19 +147,16 @@ func (n *Network) removalMaySplit(f *Flow) bool {
 			cand = g
 		}
 	}
+	n.bumpEpoch()
 	for _, l := range cand.Path {
-		n.scratchSeenL[l.ID] = true
+		n.markLink(l.ID)
 	}
-	covered := true
 	for _, id := range populated {
-		if !n.scratchSeenL[id] {
-			covered = false
+		if !n.linkSeen(id) {
+			return true
 		}
 	}
-	for _, l := range cand.Path {
-		n.scratchSeenL[l.ID] = false
-	}
-	return !covered
+	return false
 }
 
 // resplit rebuilds the exact components of a stale one by BFS over its
@@ -151,42 +165,68 @@ func (n *Network) removalMaySplit(f *Flow) bool {
 // assert this stays rare under realistic churn.
 func (n *Network) resplit(c *component) {
 	n.RegistryRebuilds++
-	visited := make(map[FlowID]bool, len(c.flows))
-	for id, f := range c.flows {
-		if visited[id] {
+	n.bumpEpoch()
+	for _, f := range c.flows {
+		if n.flowSeen(f) {
 			continue
 		}
-		flows, links := n.expand(f, visited)
-		for _, lid := range links {
-			n.scratchSeenL[lid] = false
-		}
-		nc := &component{flows: make(map[FlowID]*Flow, len(flows))}
+		flows, links := n.expand(f, n.scratchFlows[:0], n.scratchLinks[:0])
+		n.scratchFlows, n.scratchLinks = flows, links
+		nc := n.newComp()
 		for _, g := range flows {
 			nc.flows[g.ID] = g
 			n.comp[g.ID] = nc
 		}
+		n.markChunkStatic(nc)
 	}
+	// Retire the stale superset only after the member walk above: it still
+	// owns c.flows while we iterate.
+	n.retireComp(c)
+	n.snapIndex = true
 }
 
 // compFlowsLinks flattens a (fresh) component into the sorted flow slice and
-// link set that fill() expects. scratchSeenL entries for the returned links
-// are left set; the caller resets them after filling.
+// link set that fillRef expects, reusing the commit-scoped scratch buffers.
 func (n *Network) compFlowsLinks(c *component) ([]*Flow, []LinkID) {
-	flows := make([]*Flow, 0, len(c.flows))
+	flows := n.scratchFlows[:0]
 	for _, f := range c.flows {
 		flows = append(flows, f)
 	}
-	sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
-	var links []LinkID
+	slices.SortFunc(flows, flowIDCmp)
+	n.bumpEpoch()
+	links := n.scratchLinks[:0]
 	for _, f := range flows {
 		for _, l := range f.Path {
-			if !n.scratchSeenL[l.ID] {
-				n.scratchSeenL[l.ID] = true
+			if !n.linkSeen(l.ID) {
+				n.markLink(l.ID)
 				links = append(links, l.ID)
 			}
 		}
 	}
+	n.scratchFlows, n.scratchLinks = flows, links
 	return flows, links
+}
+
+// compIdxLinks is compFlowsLinks over arena indices, for fillSoA.
+func (n *Network) compIdxLinks(c *component) ([]int32, []LinkID) {
+	idxs := n.scratchFillIdxs[:0]
+	for _, f := range c.flows {
+		idxs = append(idxs, f.idx)
+	}
+	n.sortIdxsByID(idxs)
+	n.bumpEpoch()
+	links := n.scratchLinks[:0]
+	for _, i := range idxs {
+		for _, l := range n.arPath[i] {
+			id := LinkID(l)
+			if !n.linkSeen(id) {
+				n.markLink(id)
+				links = append(links, id)
+			}
+		}
+	}
+	n.scratchFillIdxs, n.scratchLinks = idxs, links
+	return idxs, links
 }
 
 // reallocateRegistry is the registry-backed commit path: dirty flows and
@@ -214,47 +254,51 @@ func (n *Network) reallocateRegistry() {
 
 	// Pass 2: collect the touched components. Sizes come straight from
 	// the member maps — no expansion.
-	var comps []*component
+	comps := n.scratchComps[:0]
 	affected := 0
-	collect := func(c *component) {
-		if c == nil || c.mark {
-			return
-		}
-		c.mark = true
-		comps = append(comps, c)
-		affected += len(c.flows)
-	}
 	for id := range n.dirtyFlows {
-		collect(n.comp[id])
+		if c := n.comp[id]; c != nil && !c.mark {
+			c.mark = true
+			comps = append(comps, c)
+			affected += len(c.flows)
+		}
 	}
 	for id := range n.dirtyLinks {
 		for fid := range n.linkFlows[id] {
-			collect(n.comp[fid])
+			if c := n.comp[fid]; c != nil && !c.mark {
+				c.mark = true
+				comps = append(comps, c)
+				affected += len(c.flows)
+			}
 			break
 		}
 	}
 	for _, c := range comps {
 		c.mark = false
 	}
+	n.scratchComps = comps
 
 	total := len(n.flows)
 	if n.AutoTuneCutoff {
 		// Per-component tuning (the registry makes sizes free): feed
 		// each touched component's own fraction rather than the batch
 		// sum, so a wide batch of small components doesn't inflate the
-		// cutoff the way one genuinely large component should. Sorted
-		// descending because the decayed maximum is order-sensitive and
-		// map iteration order is not deterministic.
-		fracs := make([]float64, len(comps))
-		for i, c := range comps {
+		// cutoff the way one genuinely large component should. Fed
+		// largest-first because the decayed maximum is order-sensitive
+		// and map iteration order is not deterministic.
+		fracs := n.scratchFracs[:0]
+		for _, c := range comps {
+			fr := 0.0
 			if total > 0 {
-				fracs[i] = float64(len(c.flows)) / float64(total)
+				fr = float64(len(c.flows)) / float64(total)
 			}
+			fracs = append(fracs, fr)
 		}
-		sort.Sort(sort.Reverse(sort.Float64Slice(fracs)))
-		for _, fr := range fracs {
-			n.tuneObserve(fr)
+		slices.Sort(fracs)
+		for i := len(fracs) - 1; i >= 0; i-- {
+			n.tuneObserve(fracs[i])
 		}
+		n.scratchFracs = fracs
 	}
 	cutoff := int(n.IncrementalCutoff * float64(total))
 	if affected > cutoff {
@@ -264,10 +308,13 @@ func (n *Network) reallocateRegistry() {
 	}
 	n.IncrementalReallocations++
 	for _, c := range comps {
-		flows, links := n.compFlowsLinks(c)
-		n.fill(flows, links)
-		for _, id := range links {
-			n.scratchSeenL[id] = false
+		n.markChunkDirty(c)
+		if n.UseSoA {
+			idxs, links := n.compIdxLinks(c)
+			n.fillSoA(idxs, links)
+		} else {
+			flows, links := n.compFlowsLinks(c)
+			n.fillRef(flows, links)
 		}
 	}
 	// A dirtied link that no longer carries any flow belongs to no
@@ -275,6 +322,7 @@ func (n *Network) reallocateRegistry() {
 	for id := range n.dirtyLinks {
 		if len(n.linkFlows[id]) == 0 {
 			n.linkRate[id] = 0
+			n.markRateDirty(id)
 		}
 	}
 	n.clearDirty()

@@ -7,75 +7,88 @@ import (
 	"time"
 )
 
-// --- Registry ≡ BFS differential on the existing topology fixtures --------
+// --- Registry/SoA ≡ BFS differential on the existing topology fixtures -----
 
-// runRegistryDifferential drives two mirror networks — the default
-// registry-backed one and a UseRegistry=false BFS one — through an identical
+// runRegistryDifferential drives four mirror networks — every combination of
+// {registry, BFS} × {SoA fill, reference fill} — through an identical
 // randomized mutation sequence over the fixture's path set, asserting after
 // every mutation that every flow rate and every link rate agrees exactly,
-// bit for bit.
+// bit for bit, across all four. The registry+SoA mirror is the production
+// configuration; the BFS+reference mirror is the simplest possible oracle.
 func runRegistryDifferential(t *testing.T, seed int64, build func() (*Network, []Path)) uint64 {
 	t.Helper()
-	reg, regPaths := build()
-	bfs, bfsPaths := build()
-	bfs.UseRegistry = false
-	if len(regPaths) != len(bfsPaths) {
-		t.Fatal("fixture builders diverged")
+	type mirror struct {
+		n     *Network
+		paths []Path
+		flows []*Flow
 	}
+	mirrors := make([]*mirror, 4)
+	for i := range mirrors {
+		n, paths := build()
+		n.UseRegistry = i < 2
+		n.UseSoA = i%2 == 0
+		mirrors[i] = &mirror{n: n, paths: paths}
+	}
+	ref := mirrors[0]
 	rng := rand.New(rand.NewSource(seed))
-	type pair struct{ r, b *Flow }
-	var flows []pair
+	nflows := 0
 	for step := 0; step < 400; step++ {
 		op := rng.Intn(5)
-		if len(flows) == 0 {
+		if nflows == 0 {
 			op = 0
 		}
-		pi := rng.Intn(len(regPaths))
+		pi := rng.Intn(len(ref.paths))
 		val := float64(1+rng.Intn(300)) * 1e0
 		if rng.Intn(5) == 0 {
 			val = math.Inf(1)
 		}
-		switch op {
-		case 0:
-			flows = append(flows, pair{
-				r: reg.StartFlow(regPaths[pi], val, ""),
-				b: bfs.StartFlow(bfsPaths[pi], val, ""),
-			})
-		case 1:
-			fi := rng.Intn(len(flows))
-			reg.StopFlow(flows[fi].r)
-			bfs.StopFlow(flows[fi].b)
-		case 2:
-			fi := rng.Intn(len(flows))
-			reg.SetDemand(flows[fi].r, val)
-			bfs.SetDemand(flows[fi].b, val)
-		case 3:
-			fi := rng.Intn(len(flows))
-			w := float64(1 + rng.Intn(4))
-			reg.SetWeight(flows[fi].r, w)
-			bfs.SetWeight(flows[fi].b, w)
-		case 4:
-			fi := rng.Intn(len(flows))
-			reg.SetPath(flows[fi].r, regPaths[pi])
-			bfs.SetPath(flows[fi].b, bfsPaths[pi])
+		fi, w := 0, 0.0
+		if nflows > 0 {
+			fi = rng.Intn(nflows)
 		}
-		for i, p := range flows {
-			if p.r.Rate != p.b.Rate {
-				t.Fatalf("step %d flow %d: registry rate %v != BFS rate %v", step, i, p.r.Rate, p.b.Rate)
+		if op == 3 {
+			w = float64(1 + rng.Intn(4))
+		}
+		for _, m := range mirrors {
+			switch op {
+			case 0:
+				m.flows = append(m.flows, m.n.StartFlow(m.paths[pi], val, ""))
+			case 1:
+				m.n.StopFlow(m.flows[fi])
+			case 2:
+				m.n.SetDemand(m.flows[fi], val)
+			case 3:
+				m.n.SetWeight(m.flows[fi], w)
+			case 4:
+				m.n.SetPath(m.flows[fi], m.paths[pi])
 			}
 		}
-		for id := 0; id < reg.Topology().NumLinks(); id++ {
-			if reg.LinkRate(LinkID(id)) != bfs.LinkRate(LinkID(id)) {
-				t.Fatalf("step %d link %d: registry %v != BFS %v", step, id,
-					reg.LinkRate(LinkID(id)), bfs.LinkRate(LinkID(id)))
+		if op == 0 {
+			nflows++
+		}
+		for _, m := range mirrors[1:] {
+			for i := range ref.flows {
+				if ref.flows[i].Rate != m.flows[i].Rate {
+					t.Fatalf("step %d flow %d: registry+SoA rate %v != mirror(reg=%v soa=%v) rate %v",
+						step, i, ref.flows[i].Rate, m.n.UseRegistry, m.n.UseSoA, m.flows[i].Rate)
+				}
+			}
+			for id := 0; id < ref.n.Topology().NumLinks(); id++ {
+				if ref.n.LinkRate(LinkID(id)) != m.n.LinkRate(LinkID(id)) {
+					t.Fatalf("step %d link %d: registry+SoA %v != mirror(reg=%v soa=%v) %v", step, id,
+						ref.n.LinkRate(LinkID(id)), m.n.UseRegistry, m.n.UseSoA, m.n.LinkRate(LinkID(id)))
+				}
 			}
 		}
 	}
-	return reg.IncrementalReallocations
+	return ref.n.IncrementalReallocations
 }
 
-func TestRegistryDifferentialOnFixtures(t *testing.T) {
-	fixtures := map[string]func() (*Network, []Path){
+// diffFixtures is the topology fixture set every differential test runs
+// over: a deep line, parallel rails with sub-paths, the E1 scenario topology
+// and a hub-and-spokes star with skewed capacities.
+func diffFixtures() map[string]func() (*Network, []Path) {
+	return map[string]func() (*Network, []Path){
 		"line": func() (*Network, []Path) {
 			topo, p := line(100)
 			return NewNetwork(topo), []Path{p}
@@ -108,11 +121,14 @@ func TestRegistryDifferentialOnFixtures(t *testing.T) {
 			return NewNetwork(topo), ps
 		},
 	}
+}
+
+func TestRegistryDifferentialOnFixtures(t *testing.T) {
 	// Single-component fixtures (line, e1 under heavy sharing) legitimately
 	// never take the incremental path; assert it was exercised somewhere
 	// across the fixture set rather than per fixture.
 	var incremental uint64
-	for name, build := range fixtures {
+	for name, build := range diffFixtures() {
 		build := build
 		t.Run(name, func(t *testing.T) {
 			for seed := int64(0); seed < 5; seed++ {

@@ -2,7 +2,8 @@ package netsim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -141,7 +142,26 @@ type sharedCmd struct {
 	fn     func(*Network) // cmdBatch body
 	driver uint64
 	seq    uint64
-	reply  chan struct{} // closed by the owner when the command is done; nil for buffered det-mode ops
+	reply  chan struct{} // cap-1; the owner sends when the command is done (unused for buffered det-mode ops)
+}
+
+// cmdPool recycles sharedCmd structs (with their reply channels) across
+// mutations: the synchronous caller returns its command after the owner's
+// reply, and in deterministic mode the owner returns the whole window after
+// commit — the command path allocates nothing in steady state.
+var cmdPool = sync.Pool{New: func() any {
+	return &sharedCmd{reply: make(chan struct{}, 1)}
+}}
+
+func getCmd() *sharedCmd { return cmdPool.Get().(*sharedCmd) }
+
+func putCmd(c *sharedCmd) {
+	c.op = Op{}
+	c.flow = nil
+	c.path = nil
+	c.fn = nil
+	c.driver, c.seq = 0, 0
+	cmdPool.Put(c)
 }
 
 // SharedNetwork makes one Network drivable from many goroutines without a
@@ -205,7 +225,10 @@ func NewShared(n *Network, cfg SharedConfig) *SharedNetwork {
 		done:        make(chan struct{}),
 		logComplete: true,
 	}
-	s.snap.Store(n.Snapshot())
+	// The initial publication is a full snapshot that also consumes the
+	// pending delta flags, so the first delta publish diffs against an
+	// accurate baseline even when the network was mutated serially first.
+	s.snap.Store(n.snapshotDelta(0, nil))
 	go s.run()
 	return s
 }
@@ -308,14 +331,15 @@ func (s *SharedNetwork) SetLinkCapacity(id LinkID, capacity float64) {
 // deterministic mode the batch is buffered like any op and fn runs at the
 // next Commit.
 func (s *SharedNetwork) Batch(fn func(*Network)) {
-	c := &sharedCmd{kind: cmdBatch, fn: fn, driver: 0, seq: s.seq0.Add(1)}
+	c := getCmd()
+	c.kind, c.fn, c.driver, c.seq = cmdBatch, fn, 0, s.seq0.Add(1)
 	if s.cfg.Deterministic {
-		s.send(c)
+		s.send(c) // the owner recycles it after commit
 		return
 	}
-	c.reply = make(chan struct{})
 	s.send(c)
 	<-c.reply
+	putCmd(c)
 }
 
 // Commit is a synchronization barrier. In deterministic mode it applies the
@@ -324,9 +348,11 @@ func (s *SharedNetwork) Batch(fn func(*Network)) {
 // (every mutation already committed); it still serves as a fence: when
 // Commit returns, every command sent before it has been applied.
 func (s *SharedNetwork) Commit() {
-	c := &sharedCmd{kind: cmdCommit, reply: make(chan struct{})}
+	c := getCmd()
+	c.kind = cmdCommit
 	s.send(c)
 	<-c.reply
+	putCmd(c)
 }
 
 // Close commits any buffered window, publishes a final snapshot, stops the
@@ -338,10 +364,12 @@ func (s *SharedNetwork) Close() *Network {
 		<-s.done
 		return s.net
 	}
-	c := &sharedCmd{kind: cmdClose, reply: make(chan struct{})}
+	c := getCmd()
+	c.kind = cmdClose
 	s.cmds <- c
 	<-c.reply
 	<-s.done
+	putCmd(c)
 	return s.net
 }
 
@@ -429,16 +457,17 @@ func (s *SharedNetwork) send(c *sharedCmd) {
 	s.cmds <- c
 }
 
-// enqueue ships one mutation: buffered (fire into the window) in
-// deterministic mode, synchronous in immediate mode.
+// enqueue ships one mutation: buffered (fire into the window, recycled by
+// the owner after commit) in deterministic mode, synchronous (recycled here
+// after the owner's reply) in immediate mode.
 func (s *SharedNetwork) enqueue(c *sharedCmd) {
 	if s.cfg.Deterministic {
 		s.send(c)
 		return
 	}
-	c.reply = make(chan struct{})
 	s.send(c)
 	<-c.reply
+	putCmd(c)
 }
 
 func (s *SharedNetwork) startFlow(path Path, demand float64, tag string, driver, seq uint64) *Flow {
@@ -446,15 +475,18 @@ func (s *SharedNetwork) startFlow(path Path, demand float64, tag string, driver,
 		panic(fmt.Sprintf("netsim: disconnected path %v", path))
 	}
 	f := &Flow{}
-	s.enqueue(&sharedCmd{
-		kind: cmdOp, op: Op{Kind: OpStart, Value: demand, Tag: tag},
-		flow: f, path: path, driver: driver, seq: seq,
-	})
+	c := getCmd()
+	c.kind, c.op = cmdOp, Op{Kind: OpStart, Value: demand, Tag: tag}
+	c.flow, c.path, c.driver, c.seq = f, path, driver, seq
+	s.enqueue(c)
 	return f
 }
 
 func (s *SharedNetwork) flowOp(op Op, f *Flow, path Path, driver, seq uint64) {
-	s.enqueue(&sharedCmd{kind: cmdOp, op: op, flow: f, path: path, driver: driver, seq: seq})
+	c := getCmd()
+	c.kind, c.op = cmdOp, op
+	c.flow, c.path, c.driver, c.seq = f, path, driver, seq
+	s.enqueue(c)
 }
 
 func (s *SharedNetwork) linkOp(id LinkID, capacity float64, driver, seq uint64) {
@@ -465,10 +497,10 @@ func (s *SharedNetwork) linkOp(id LinkID, capacity float64, driver, seq uint64) 
 	if capacity <= 0 {
 		panic(fmt.Sprintf("netsim: non-positive capacity %v for link %s->%s", capacity, l.From, l.To))
 	}
-	s.enqueue(&sharedCmd{
-		kind: cmdOp, op: Op{Kind: OpSetLinkCapacity, Link: id, Value: capacity},
-		driver: driver, seq: seq,
-	})
+	c := getCmd()
+	c.kind, c.op = cmdOp, Op{Kind: OpSetLinkCapacity, Link: id, Value: capacity}
+	c.driver, c.seq = driver, seq
+	s.enqueue(c)
 }
 
 // --- Owner goroutine --------------------------------------------------------
@@ -485,7 +517,7 @@ func (s *SharedNetwork) run() {
 			s.apply(c)
 			s.maybeSnapshot()
 			s.publish()
-			close(c.reply)
+			c.reply <- struct{}{}
 		case cmdBatch:
 			if s.cfg.Deterministic {
 				s.window = append(s.window, c)
@@ -493,16 +525,16 @@ func (s *SharedNetwork) run() {
 			}
 			s.runBatch(c)
 			s.publish()
-			close(c.reply)
+			c.reply <- struct{}{}
 		case cmdCommit:
 			s.commitWindow()
 			s.maybeSnapshot()
 			s.publish()
-			close(c.reply)
+			c.reply <- struct{}{}
 		case cmdClose:
 			s.commitWindow()
 			s.publish()
-			close(c.reply)
+			c.reply <- struct{}{}
 			return
 		}
 	}
@@ -514,11 +546,21 @@ func (s *SharedNetwork) commitWindow() {
 	if len(s.window) == 0 {
 		return
 	}
-	sort.SliceStable(s.window, func(i, j int) bool {
-		if s.window[i].driver != s.window[j].driver {
-			return s.window[i].driver < s.window[j].driver
+	slices.SortStableFunc(s.window, func(a, b *sharedCmd) int {
+		if a.driver != b.driver {
+			if a.driver < b.driver {
+				return -1
+			}
+			return 1
 		}
-		return s.window[i].seq < s.window[j].seq
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		default:
+			return 0
+		}
 	})
 	s.net.Batch(func() {
 		for _, c := range s.window {
@@ -529,6 +571,10 @@ func (s *SharedNetwork) commitWindow() {
 			s.apply(c)
 		}
 	})
+	for i, c := range s.window {
+		putCmd(c)
+		s.window[i] = nil
+	}
 	s.window = s.window[:0]
 }
 
@@ -545,38 +591,49 @@ func (s *SharedNetwork) runBatch(c *sharedCmd) {
 // apply performs one mutation on the inner network and records it. Ops on
 // detached flows are no-ops and are not recorded (their handles may carry a
 // stale or zero ID that would corrupt a replay). Recording happens after
-// the mutation so the journal sink sees the post-apply state digest.
+// the mutation so the journal sink sees the post-apply state digest; the Op
+// value (and its Links slice) is only materialized when a log or journal is
+// actually attached, so unrecorded runs pay nothing for it.
 func (s *SharedNetwork) apply(c *sharedCmd) {
 	n := s.net
-	var op Op
 	live := true
 	switch c.op.Kind {
 	case OpStart:
 		n.startFlowAs(c.flow, c.path, c.op.Value, c.op.Tag)
-		op = Op{Kind: OpStart, Flow: c.flow.ID, Links: linkIDs(c.path), Value: c.op.Value, Tag: c.op.Tag}
 	case OpStop:
 		live = n.attached(c.flow)
-		op = Op{Kind: OpStop, Flow: c.flow.ID}
 		n.StopFlow(c.flow)
 	case OpSetDemand:
 		live = n.attached(c.flow)
-		op = Op{Kind: OpSetDemand, Flow: c.flow.ID, Value: c.op.Value}
 		n.SetDemand(c.flow, c.op.Value)
 	case OpSetWeight:
 		live = n.attached(c.flow)
-		op = Op{Kind: OpSetWeight, Flow: c.flow.ID, Value: c.op.Value}
 		n.SetWeight(c.flow, c.op.Value)
 	case OpSetPath:
 		live = n.attached(c.flow)
-		op = Op{Kind: OpSetPath, Flow: c.flow.ID, Links: linkIDs(c.path)}
 		n.SetPath(c.flow, c.path)
 	case OpSetLinkCapacity:
-		op = Op{Kind: OpSetLinkCapacity, Link: c.op.Link, Value: c.op.Value}
 		n.SetLinkCapacity(c.op.Link, c.op.Value)
 	}
-	if live {
-		s.record(op)
+	if !live || (!s.cfg.Record && s.cfg.Journal == nil) {
+		return
 	}
+	var op Op
+	switch c.op.Kind {
+	case OpStart:
+		op = Op{Kind: OpStart, Flow: c.flow.ID, Links: linkIDs(c.path), Value: c.op.Value, Tag: c.op.Tag}
+	case OpStop:
+		op = Op{Kind: OpStop, Flow: c.flow.ID}
+	case OpSetDemand:
+		op = Op{Kind: OpSetDemand, Flow: c.flow.ID, Value: c.op.Value}
+	case OpSetWeight:
+		op = Op{Kind: OpSetWeight, Flow: c.flow.ID, Value: c.op.Value}
+	case OpSetPath:
+		op = Op{Kind: OpSetPath, Flow: c.flow.ID, Links: linkIDs(c.path)}
+	case OpSetLinkCapacity:
+		op = Op{Kind: OpSetLinkCapacity, Link: c.op.Link, Value: c.op.Value}
+	}
+	s.record(op)
 }
 
 func (s *SharedNetwork) record(op Op) {
@@ -610,7 +667,7 @@ func (s *SharedNetwork) noteJournalErr(err error) {
 
 func (s *SharedNetwork) publish() {
 	s.pubSeq++
-	s.snap.Store(s.net.snapshotSeq(s.pubSeq))
+	s.snap.Store(s.net.snapshotDelta(s.pubSeq, s.snap.Load()))
 }
 
 func linkIDs(p Path) []LinkID {

@@ -93,6 +93,265 @@ type FlowView struct {
 	Tag    string
 }
 
+// flowChunk is one registry component's flows frozen at snapshot time,
+// sorted by ascending flow ID. Chunks are immutable once built, so
+// consecutive snapshots share the chunks of components untouched between
+// them. The static fields (ID, Weight, Tag) live in views; Rate and Demand
+// live in dyn, so a pure re-fill — by far the hottest publish — shares the
+// views slice and rebuilds only the two floats per flow.
+type flowChunk struct {
+	views []FlowView // static fields; Rate/Demand left zero
+	dyn   []float64  // [rate, demand] per flow, same order as views
+}
+
+func (ch *flowChunk) view(pos int) FlowView {
+	v := ch.views[pos]
+	v.Rate = ch.dyn[2*pos]
+	v.Demand = ch.dyn[2*pos+1]
+	return v
+}
+
+// flowTable is a snapshot's flow set: per-component chunks indexed by the
+// component's slot, plus an ID index packing slot<<32|pos. The index is
+// shared across snapshots while membership is unchanged — a pure re-fill
+// keeps every view at the same (slot, pos) because chunk order is sorted by
+// ID and membership didn't move.
+type flowTable struct {
+	count  int
+	chunks []*flowChunk     // by slot; nil for free slots
+	index  map[FlowID]int64 // id → slot<<32 | pos
+}
+
+func (t *flowTable) lookup(id FlowID) (FlowView, bool) {
+	packed, ok := t.index[id]
+	if !ok {
+		return FlowView{}, false
+	}
+	return t.chunks[packed>>32].view(int(packed & 0xffffffff)), true
+}
+
+// ratePatch is one changed link rate relative to a snapshot's shared base
+// array: consecutive snapshots under steady churn share the base and carry
+// only the dirtied component's links as a patch, compacted back into a
+// fresh base once the patch would exceed maxRatePatch.
+type ratePatch struct {
+	id  LinkID
+	val float64
+}
+
+// maxRatePatch bounds the patch overlay (and so the per-read scan).
+const maxRatePatch = 16
+
+// --- component slot / chunk-dirty bookkeeping (Network side) ---------------
+
+// newComp takes a component husk from the pool (or allocates one) and
+// assigns it a snapshot chunk slot.
+func (n *Network) newComp() *component {
+	var c *component
+	if k := len(n.compPool); k > 0 {
+		c = n.compPool[k-1]
+		n.compPool = n.compPool[:k-1]
+	} else {
+		c = &component{flows: make(map[FlowID]*Flow)}
+	}
+	c.stale, c.mark = false, false
+	n.assignSlot(c)
+	return c
+}
+
+// retireComp frees a component's slot and parks its cleared husk in the
+// pool. The component must no longer be reachable from n.comp.
+func (n *Network) retireComp(c *component) {
+	n.freeSlot(c)
+	clear(c.flows)
+	c.stale, c.mark = false, false
+	n.compPool = append(n.compPool, c)
+}
+
+func (n *Network) assignSlot(c *component) {
+	if k := len(n.slotFree); k > 0 {
+		s := n.slotFree[k-1]
+		n.slotFree = n.slotFree[:k-1]
+		c.slot = s
+		n.slotComp[s] = c
+	} else {
+		c.slot = int32(len(n.slotComp))
+		n.slotComp = append(n.slotComp, c)
+		n.chunkDirty = append(n.chunkDirty, false)
+		n.chunkStatic = append(n.chunkStatic, false)
+	}
+	n.markChunkStatic(c)
+}
+
+func (n *Network) freeSlot(c *component) {
+	s := c.slot
+	n.slotComp[s] = nil
+	if n.chunkDirty[s] {
+		n.chunkDirty[s] = false
+		n.dirtyChunks--
+	}
+	n.chunkStatic[s] = false
+	n.slotFree = append(n.slotFree, s)
+	c.slot = -1
+	n.snapIndex = true // the slot's chunk disappears from the next table
+}
+
+// markChunkDirty flags a component's snapshot chunk for a dynamic rebuild
+// (rates/demands) at the next delta publication.
+func (n *Network) markChunkDirty(c *component) {
+	s := c.slot
+	if s < 0 {
+		return
+	}
+	if !n.chunkDirty[s] {
+		n.chunkDirty[s] = true
+		n.dirtyChunks++
+	}
+}
+
+// markChunkStatic flags a component's snapshot chunk for a full rebuild:
+// its membership or a static flow field (weight) changed, so the previous
+// chunk's views slice cannot be shared.
+func (n *Network) markChunkStatic(c *component) {
+	n.markChunkDirty(c)
+	if c.slot >= 0 {
+		n.chunkStatic[c.slot] = true
+	}
+}
+
+// markRateDirty records that a link's allocated rate may differ from the
+// last published snapshot; the publish path turns the accumulated set into
+// a patch overlay over the previous snapshot's rate array.
+func (n *Network) markRateDirty(id LinkID) {
+	if !n.rateDirty[id] {
+		n.rateDirty[id] = true
+		n.rateList = append(n.rateList, id)
+	}
+}
+
+// buildChunk freezes one component into a chunk.
+func (n *Network) buildChunk(c *component) *flowChunk {
+	idxs := n.scratchIdxs[:0]
+	for _, f := range c.flows {
+		idxs = append(idxs, f.idx)
+	}
+	n.sortIdxsByID(idxs)
+	n.scratchIdxs = idxs
+	ch := &flowChunk{views: make([]FlowView, len(idxs)), dyn: make([]float64, 2*len(idxs))}
+	for pos, i := range idxs {
+		f := n.arFlow[i]
+		ch.views[pos] = FlowView{ID: f.ID, Weight: f.Weight, Tag: f.Tag}
+		ch.dyn[2*pos] = n.arRate[i]
+		ch.dyn[2*pos+1] = n.arDemand[i]
+	}
+	return ch
+}
+
+// refreshChunkDyn rebuilds only a chunk's dynamic half (rates and demands),
+// sharing prev's static views. Valid only while the component's membership
+// and static fields are unchanged since prev was built — guaranteed by the
+// chunkStatic mark, which every membership or weight mutation sets. The
+// member order matches prev.views because both sort by flow ID.
+func (n *Network) refreshChunkDyn(c *component, prev *flowChunk) *flowChunk {
+	idxs := n.scratchIdxs[:0]
+	for _, f := range c.flows {
+		idxs = append(idxs, f.idx)
+	}
+	n.sortIdxsByID(idxs)
+	n.scratchIdxs = idxs
+	dyn := make([]float64, 2*len(idxs))
+	for pos, i := range idxs {
+		dyn[2*pos] = n.arRate[i]
+		dyn[2*pos+1] = n.arDemand[i]
+	}
+	return &flowChunk{views: prev.views, dyn: dyn}
+}
+
+// buildFlowTable freezes every live flow: per-component chunks under the
+// registry, one flat chunk otherwise.
+func (n *Network) buildFlowTable() flowTable {
+	t := flowTable{count: len(n.flows)}
+	if n.UseRegistry {
+		t.chunks = make([]*flowChunk, len(n.slotComp))
+		t.index = make(map[FlowID]int64, len(n.flows))
+		for s, c := range n.slotComp {
+			if c == nil {
+				continue
+			}
+			ch := n.buildChunk(c)
+			t.chunks[s] = ch
+			for pos, v := range ch.views {
+				t.index[v.ID] = int64(s)<<32 | int64(pos)
+			}
+		}
+		return t
+	}
+	idxs := n.scratchIdxs[:0]
+	for i, f := range n.arFlow {
+		if f != nil {
+			idxs = append(idxs, int32(i))
+		}
+	}
+	n.sortIdxsByID(idxs)
+	n.scratchIdxs = idxs
+	ch := &flowChunk{views: make([]FlowView, len(idxs)), dyn: make([]float64, 2*len(idxs))}
+	t.index = make(map[FlowID]int64, len(idxs))
+	for pos, i := range idxs {
+		f := n.arFlow[i]
+		ch.views[pos] = FlowView{ID: f.ID, Weight: f.Weight, Tag: f.Tag}
+		ch.dyn[2*pos] = n.arRate[i]
+		ch.dyn[2*pos+1] = n.arDemand[i]
+		t.index[f.ID] = int64(pos) // single chunk: slot 0
+	}
+	t.chunks = []*flowChunk{ch}
+	return t
+}
+
+// deltaFlowTable builds the next snapshot's flow table, sharing the previous
+// table's chunks for components untouched since it was published, and the
+// static views of components that were only re-filled.
+func (n *Network) deltaFlowTable(prev *flowTable) flowTable {
+	if n.snapAllFlows || !n.UseRegistry {
+		return n.buildFlowTable()
+	}
+	if !n.snapIndex && n.dirtyChunks == 0 {
+		return *prev
+	}
+	t := flowTable{count: len(n.flows), chunks: make([]*flowChunk, len(n.slotComp))}
+	for s, c := range n.slotComp {
+		if c == nil {
+			continue
+		}
+		prevCh := (*flowChunk)(nil)
+		if s < len(prev.chunks) {
+			prevCh = prev.chunks[s]
+		}
+		switch {
+		case !n.chunkDirty[s] && prevCh != nil:
+			t.chunks[s] = prevCh
+		case !n.chunkStatic[s] && prevCh != nil && len(prevCh.views) == len(c.flows):
+			t.chunks[s] = n.refreshChunkDyn(c, prevCh)
+		default:
+			t.chunks[s] = n.buildChunk(c)
+		}
+	}
+	if !n.snapIndex && prev.index != nil {
+		// Pure re-fills keep (slot, pos) stable; the index carries over.
+		t.index = prev.index
+	} else {
+		t.index = make(map[FlowID]int64, t.count)
+		for s, ch := range t.chunks {
+			if ch == nil {
+				continue
+			}
+			for pos, v := range ch.views {
+				t.index[v.ID] = int64(s)<<32 | int64(pos)
+			}
+		}
+	}
+	return t
+}
+
 // Snapshot is an immutable copy of a Network's read surface: per-link rates
 // and capacities, per-flow allocations, and the allocator work counters.
 // It is safe for unsynchronized use from any number of goroutines and
@@ -110,49 +369,142 @@ type Snapshot struct {
 	// snapshots published by a SharedNetwork.
 	Seq uint64
 
-	linkRate []float64
-	capacity []float64
-	delay    []time.Duration
-	flowsOn  []int32
-	activeOn []int32
-	flows    map[FlowID]FlowView
-	stats    Stats
+	// rateBase plus ratePatch is the per-link allocated rate: ratePatch
+	// overrides rateBase for the few links changed since the snapshot the
+	// base was copied for. Patches are bounded by maxRatePatch; beyond that
+	// the publish path compacts into a fresh base.
+	rateBase  []float64
+	ratePatch []ratePatch
+	capacity  []float64
+	delay     []time.Duration
+	flowsOn   []int32
+	activeOn  []int32
+	flows     flowTable
+	stats     Stats
+}
+
+// rateOf resolves a link's allocated rate through the patch overlay.
+func (s *Snapshot) rateOf(id LinkID) float64 {
+	for _, p := range s.ratePatch {
+		if p.id == id {
+			return p.val
+		}
+	}
+	return s.rateBase[id]
 }
 
 // Snapshot freezes the network's current read surface. O(links + flows).
-func (n *Network) Snapshot() *Snapshot { return n.snapshotSeq(0) }
+// Serial snapshots never consume the delta flags — those belong to the
+// SharedNetwork publish path (snapshotDelta).
+func (n *Network) Snapshot() *Snapshot { return n.snapshotFull(0) }
 
-func (n *Network) snapshotSeq(seq uint64) *Snapshot {
+func (n *Network) snapshotFull(seq uint64) *Snapshot {
 	nl := n.topo.NumLinks()
 	s := &Snapshot{
 		Seq:      seq,
-		linkRate: make([]float64, nl),
+		rateBase: make([]float64, nl),
 		capacity: make([]float64, nl),
-		delay:    make([]time.Duration, nl),
+		delay:    n.snapDelay, // immutable after construction; shared
 		flowsOn:  make([]int32, nl),
 		activeOn: make([]int32, nl),
-		flows:    make(map[FlowID]FlowView, len(n.flows)),
+		flows:    n.buildFlowTable(),
 		stats:    n.Stats(),
 	}
-	copy(s.linkRate, n.linkRate)
+	copy(s.rateBase, n.linkRate)
 	for id, l := range n.topo.links {
 		s.capacity[id] = l.Capacity
-		s.delay[id] = l.Delay
 		s.flowsOn[id] = int32(len(n.linkFlows[id]))
-		for _, f := range n.linkFlows[id] {
-			if f.Demand > 0 {
-				s.activeOn[id]++
-			}
-		}
 	}
-	for id, f := range n.flows {
-		s.flows[id] = FlowView{ID: id, Rate: f.Rate, Demand: f.Demand, Weight: f.Weight, Tag: f.Tag}
-	}
+	copy(s.activeOn, n.activeOn)
 	return s
 }
 
+// snapshotDelta is the SharedNetwork publish path: a copy-on-write snapshot
+// that shares every facet of prev the mutations since prev did not touch,
+// then consumes the delta flags. Immutability is preserved by construction —
+// shared arrays are only ever read, changed facets get fresh arrays (or, for
+// link rates, a small patch overlay on the previous base).
+func (n *Network) snapshotDelta(seq uint64, prev *Snapshot) *Snapshot {
+	if prev == nil {
+		s := n.snapshotFull(seq)
+		n.clearSnapFlags()
+		return s
+	}
+	s := &Snapshot{Seq: seq, delay: n.snapDelay, stats: n.Stats()}
+	switch {
+	case n.rateAll:
+		s.rateBase = append([]float64(nil), n.linkRate...)
+	case len(n.rateList) == 0:
+		s.rateBase, s.ratePatch = prev.rateBase, prev.ratePatch
+	default:
+		// Carry forward the previous overlay entries not re-dirtied, add the
+		// freshly changed links; compact into a new base past the bound.
+		keep := 0
+		for _, p := range prev.ratePatch {
+			if !n.rateDirty[p.id] {
+				keep++
+			}
+		}
+		if keep+len(n.rateList) > maxRatePatch {
+			s.rateBase = append([]float64(nil), n.linkRate...)
+		} else {
+			patch := make([]ratePatch, 0, keep+len(n.rateList))
+			for _, p := range prev.ratePatch {
+				if !n.rateDirty[p.id] {
+					patch = append(patch, p)
+				}
+			}
+			for _, id := range n.rateList {
+				patch = append(patch, ratePatch{id: id, val: n.linkRate[id]})
+			}
+			s.rateBase, s.ratePatch = prev.rateBase, patch
+		}
+	}
+	if n.snapCap {
+		s.capacity = make([]float64, len(n.topo.links))
+		for id, l := range n.topo.links {
+			s.capacity[id] = l.Capacity
+		}
+	} else {
+		s.capacity = prev.capacity
+	}
+	if n.snapOn {
+		s.flowsOn = make([]int32, n.topo.NumLinks())
+		for id := range n.topo.links {
+			s.flowsOn[id] = int32(len(n.linkFlows[id]))
+		}
+		s.activeOn = append([]int32(nil), n.activeOn...)
+	} else {
+		s.flowsOn = prev.flowsOn
+		s.activeOn = prev.activeOn
+	}
+	s.flows = n.deltaFlowTable(&prev.flows)
+	n.clearSnapFlags()
+	return s
+}
+
+// clearSnapFlags resets the per-facet delta flags, chunk dirty marks and the
+// rate-dirty set after a delta publication consumed them.
+func (n *Network) clearSnapFlags() {
+	n.snapCap, n.snapOn, n.snapAllFlows, n.snapIndex = false, false, false, false
+	if n.dirtyChunks > 0 {
+		for i, d := range n.chunkDirty {
+			if d {
+				n.chunkDirty[i] = false
+				n.chunkStatic[i] = false
+			}
+		}
+		n.dirtyChunks = 0
+	}
+	for _, id := range n.rateList {
+		n.rateDirty[id] = false
+	}
+	n.rateList = n.rateList[:0]
+	n.rateAll = false
+}
+
 func (s *Snapshot) inRange(id LinkID) bool {
-	return int(id) >= 0 && int(id) < len(s.linkRate)
+	return int(id) >= 0 && int(id) < len(s.rateBase)
 }
 
 // LinkRate returns the total allocated rate on a link in bits/s.
@@ -160,7 +512,7 @@ func (s *Snapshot) LinkRate(id LinkID) float64 {
 	if !s.inRange(id) {
 		return 0
 	}
-	return s.linkRate[id]
+	return s.rateOf(id)
 }
 
 // Utilization returns allocated/capacity for a link, in [0,1].
@@ -168,7 +520,7 @@ func (s *Snapshot) Utilization(id LinkID) float64 {
 	if !s.inRange(id) {
 		return 0
 	}
-	return utilizationOf(s.linkRate[id], s.capacity[id])
+	return utilizationOf(s.rateOf(id), s.capacity[id])
 }
 
 // Congestion classifies the link's utilization at snapshot time.
@@ -190,7 +542,7 @@ func (s *Snapshot) Headroom(id LinkID) float64 {
 	if !s.inRange(id) {
 		return 0
 	}
-	h := s.capacity[id] - s.linkRate[id]
+	h := s.capacity[id] - s.rateOf(id)
 	if h < 0 {
 		h = 0
 	}
@@ -249,23 +601,27 @@ func (s *Snapshot) ActiveFlowsOn(id LinkID) int {
 }
 
 // NumFlows returns the number of active flows at snapshot time.
-func (s *Snapshot) NumFlows() int { return len(s.flows) }
+func (s *Snapshot) NumFlows() int { return s.flows.count }
 
 // NumLinks returns the number of links the snapshot covers.
-func (s *Snapshot) NumLinks() int { return len(s.linkRate) }
+func (s *Snapshot) NumLinks() int { return len(s.rateBase) }
 
 // Flow returns the frozen state of one flow, if it was live at snapshot
 // time.
 func (s *Snapshot) Flow(id FlowID) (FlowView, bool) {
-	v, ok := s.flows[id]
-	return v, ok
+	return s.flows.lookup(id)
 }
 
 // Flows calls fn for every flow live at snapshot time, in unspecified
 // order.
 func (s *Snapshot) Flows(fn func(FlowView)) {
-	for _, v := range s.flows {
-		fn(v)
+	for _, ch := range s.flows.chunks {
+		if ch == nil {
+			continue
+		}
+		for pos := range ch.views {
+			fn(ch.view(pos))
+		}
 	}
 }
 

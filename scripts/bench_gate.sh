@@ -1,21 +1,27 @@
 #!/bin/sh
-# Bench regression gate: rerun key benchmarks (min ns/op of 3 counts) and
-# compare against the latest recorded BENCH_<yyyy-mm-dd>.json; fail when any
-# shared benchmark regressed by more than 20%. Skips cleanly when nothing
-# has been recorded yet or when no benchmark names overlap (e.g. a machine
-# with a different core count suffixes names differently).
+# Bench regression gate: rerun key benchmarks (min of 3+ counts per metric)
+# and compare against the latest recorded BENCH_<yyyy-mm-dd>.json.
+# Fails when any shared benchmark:
+#   - regressed ns/op by more than 20%,
+#   - allocates more allocs/op than recorded (zero-alloc steady states must
+#     stay zero-alloc),
+#   - regressed B/op beyond max(1.2x, +16 bytes) of the recorded value.
+# Skips cleanly when nothing has been recorded yet or when no benchmark
+# names overlap (e.g. a machine with a different core count suffixes names
+# differently).
 # Usage: scripts/bench_gate.sh [pattern]
 set -eu
 cd "$(dirname "$0")/.."
 
 # Default to the stable hot-path benchmarks: single-threaded collector
-# ingest, incremental reallocation, and the lockstep engine's serial
-# instant loop. The multi-worker and sharded variants are deliberately
-# excluded — their timings are scheduler-bound and too noisy for a 20%
-# gate, especially on small machines. (go test treats each unbracketed
-# "|" alternative as its own slash-separated pattern, so the /workers-1
-# below filters only the ParallelEngineInstants sub-benchmarks.)
-pattern="${1:-^BenchmarkCollectorIngest\$|ParallelEngineInstants/workers-1|ReallocateIncremental}"
+# ingest, incremental reallocation, steady-state churn, snapshot reads
+# under writes, journal append, and the lockstep engine's serial instant
+# loop. The multi-worker and sharded variants are deliberately excluded —
+# their timings are scheduler-bound and too noisy for a 20% gate,
+# especially on small machines. (go test treats each unbracketed "|"
+# alternative as its own slash-separated pattern, so the /workers-1 below
+# filters only the ParallelEngineInstants sub-benchmarks.)
+pattern="${1:-^BenchmarkCollectorIngest\$|ParallelEngineInstants/workers-1|ReallocateIncremental|ChurnRails|ChurnSkewed|SharedReadScaling|^BenchmarkJournalAppend\$}"
 latest=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
 if [ -z "$latest" ]; then
 	echo "bench gate: no BENCH_*.json recorded; skipping"
@@ -24,25 +30,31 @@ fi
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
-go test -run '^$' -bench "$pattern" -benchtime 0.3s -count 5 \
-	./internal/sim/... ./internal/core/... ./internal/netsim/... >"$tmp"
 
-awk -v latest="$latest" '
-	# Pass 1: recorded ns/op by benchmark name (our JSON keeps one
+gate_check() {
+	awk -v latest="$1" '
+	# Pass 1: recorded metrics by benchmark name (our JSON keeps one
 	# benchmark per line).
 	NR == FNR {
 		if (match($0, /"name": "[^"]+"/)) {
 			name = substr($0, RSTART + 9, RLENGTH - 10)
 			if (match($0, /"ns\/op": [0-9.eE+-]+/))
 				rec[name] = substr($0, RSTART + 9, RLENGTH - 9) + 0
+			if (match($0, /"B\/op": [0-9.eE+-]+/))
+				recb[name] = substr($0, RSTART + 8, RLENGTH - 8) + 0
+			if (match($0, /"allocs\/op": [0-9.eE+-]+/))
+				reca[name] = substr($0, RSTART + 13, RLENGTH - 13) + 0
 		}
 		next
 	}
-	# Pass 2: fresh runs — keep each name'\''s min ns/op across counts.
+	# Pass 2: fresh runs — keep each name'\''s min per metric across counts.
 	/^Benchmark/ {
-		for (i = 3; i + 1 <= NF; i += 2) if ($(i + 1) == "ns/op") {
+		for (i = 3; i + 1 <= NF; i += 2) {
 			v = $i + 0
-			if (!($1 in fresh) || v < fresh[$1]) fresh[$1] = v
+			u = $(i + 1)
+			if (u == "ns/op" && (!($1 in fresh) || v < fresh[$1])) fresh[$1] = v
+			if (u == "B/op" && (!($1 in freshb) || v < freshb[$1])) freshb[$1] = v
+			if (u == "allocs/op" && (!($1 in fresha) || v < fresha[$1])) fresha[$1] = v
 		}
 	}
 	END {
@@ -54,7 +66,19 @@ awk -v latest="$latest" '
 			printf "bench gate: %-55s recorded %.0f ns/op, now %.0f ns/op (%.2fx)\n", name, rec[name], fresh[name], ratio
 			if (ratio > 1.20) {
 				failed++
-				printf "bench gate: FAIL %s regressed more than 20%%\n", name
+				printf "bench gate: FAIL %s regressed more than 20%% (ns/op)\n", name
+			}
+			if ((name in reca) && (name in fresha) && fresha[name] > reca[name]) {
+				failed++
+				printf "bench gate: FAIL %s allocs/op rose: recorded %d, now %d\n", name, reca[name], fresha[name]
+			}
+			if ((name in recb) && (name in freshb)) {
+				limit = recb[name] * 1.2
+				if (limit < recb[name] + 16) limit = recb[name] + 16
+				if (freshb[name] > limit) {
+					failed++
+					printf "bench gate: FAIL %s B/op rose: recorded %d, now %d (limit %.0f)\n", name, recb[name], freshb[name], limit
+				}
 			}
 		}
 		if (checked == 0) {
@@ -62,6 +86,27 @@ awk -v latest="$latest" '
 			exit 0
 		}
 		if (failed > 0) exit 1
-		printf "bench gate: %d benchmark(s) within 20%% of %s\n", checked, latest
+		printf "bench gate: %d benchmark(s) within bounds of %s\n", checked, latest
 	}
-' "$latest" "$tmp"
+	' "$1" "$2"
+}
+
+# Timing noise only ever inflates ns/op (scheduler steal, a co-running
+# process), so the gate keeps the min per metric and, on failure, retries
+# with the fresh samples accumulating into the same pool — a transiently
+# loaded machine converges to the true floor instead of failing the build.
+# Alloc counts are load-insensitive, so those gates are as strict on the
+# first attempt as the last.
+attempts=3
+for attempt in $(seq "$attempts"); do
+	go test -run '^$' -bench "$pattern" -benchtime 0.3s -count 5 -benchmem \
+		./internal/sim/... ./internal/core/... ./internal/netsim/... \
+		./internal/journal/... >>"$tmp"
+	if gate_check "$latest" "$tmp"; then
+		exit 0
+	fi
+	if [ "$attempt" -lt "$attempts" ]; then
+		echo "bench gate: over bounds on attempt $attempt/$attempts; re-measuring (min accumulates)"
+	fi
+done
+exit 1
