@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench chaos recover fmt
+.PHONY: check build vet test race bench chaos recover timetravel fmt
 
 # Tier-1 gate: everything a PR must pass before merging.
 check: build vet race
@@ -28,6 +28,11 @@ chaos:
 # and verify the A2I summaries are identical across the crash.
 recover:
 	scripts/recover_demo.sh
+
+# Time-travel demo: journal an eona-lg run, query /v1/history/summaries at
+# three offsets, kill -9, restart, and verify the answers are byte-identical.
+timetravel:
+	scripts/timetravel_demo.sh
 
 fmt:
 	gofmt -l -w .

@@ -26,8 +26,8 @@ func TestHealthEndpointWithPeer(t *testing.T) {
 
 	// Local server with the health endpoint mounted alongside the
 	// looking-glass surfaces.
-	local := eona.NewServer(store, nil, apppSources(nil, nil))
-	ts := httptest.NewServer(newMux(local.Handler(), peerTS.URL, snap))
+	local := eona.NewServer(store, nil, foldOnlyAppp(t))
+	ts := httptest.NewServer(newMux(local.Handler(), peerTS.URL, snap, nil))
 	defer ts.Close()
 
 	deadline := time.Now().Add(2 * time.Second)
@@ -79,7 +79,7 @@ func TestHealthEndpointWithPeer(t *testing.T) {
 }
 
 func TestHealthEndpointWithoutPeer(t *testing.T) {
-	ts := httptest.NewServer(newMux(http.NotFoundHandler(), "", nil))
+	ts := httptest.NewServer(newMux(http.NotFoundHandler(), "", nil, nil))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/v1/health")
 	if err != nil {

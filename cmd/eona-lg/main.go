@@ -25,15 +25,25 @@
 //	eona-lg -role appp -peer http://localhost:8081 -peer-token demo-token
 //	curl http://localhost:8080/v1/health
 //
-// With -journal the server is crash-safe: collector ingests and partner
-// poll results are appended to a durable journal, and a restart recovers
-// them — the collector's rollups are rebuilt from the journaled ingest
-// stream (instead of re-feeding the synthetic demo data) and the poller's
-// snapshot is warm-started from the last journaled poll:
+// With -journal the server is crash-safe, and its query state is served
+// from incremental projections (internal/projection): collector ingests
+// and partner poll results are journaled through a projection engine that
+// folds them into offset-checkpointed read models. A restart resumes each
+// read model from its last committed checkpoint and refolds only the
+// record tail — O(checkpoint delta), not O(history) — and the poller's
+// snapshot warm-starts from the hint read model instead of waiting out a
+// poll interval:
 //
 //	eona-lg -role appp -journal /var/lib/eona/lg.journal
 //	kill -9 <pid>; eona-lg -role appp -journal /var/lib/eona/lg.journal
 //	# summaries identical across the kill
+//
+// A journaled server also answers historical queries — time travel over
+// the read models, unauthenticated like /v1/health:
+//
+//	curl 'http://localhost:8080/v1/history/summaries?offset=120'
+//	    the QoE summaries as they stood after the first 120 journal
+//	    records (omit offset, or -1, for the newest journaled state)
 package main
 
 import (
@@ -50,6 +60,7 @@ import (
 	"eona/internal/core"
 	"eona/internal/journal"
 	"eona/internal/lookingglass"
+	"eona/internal/projection"
 )
 
 func main() {
@@ -84,19 +95,26 @@ func main() {
 			log.Fatalf("eona-lg: %v", err)
 		}
 		defer jw.Close()
-		log.Printf("eona-lg: journal %s: recovered %d ingests, %d polls (%d torn bytes discarded)",
-			*journalDir, len(recovered.Ingests), len(recovered.Polls), recovered.TruncatedBytes)
 	}
-	var recIngests []core.QoERecord
-	var recPolls []journal.PollRecord
+
+	eng, qoeModel, hintModel, err := buildEngine(jw)
+	if err != nil {
+		log.Fatalf("eona-lg: %v", err)
+	}
 	if recovered != nil {
-		recIngests, recPolls = recovered.Ingests, recovered.Polls
+		stats, err := eng.Resume(recovered)
+		if err != nil {
+			log.Fatalf("eona-lg: resume read models: %v", err)
+		}
+		log.Printf("eona-lg: journal %s: %d records (%d ingests, %d polls, %d torn bytes discarded); resumed qoe from tail %d, hints from tail %d",
+			*journalDir, len(recovered.Stream), len(recovered.Ingests), len(recovered.Polls),
+			recovered.TruncatedBytes, stats.TailFolded[qoeModel.Name()], stats.TailFolded[hintModel.Name()])
 	}
 
 	var src eona.Sources
 	switch *role {
 	case "appp":
-		src = apppSources(jw, recIngests)
+		src = apppSources(eng, qoeModel)
 	case "infp":
 		src = infpSources()
 	default:
@@ -106,8 +124,13 @@ func main() {
 
 	var snap *lookingglass.Snapshot[[]core.PeeringInfo]
 	if *peer != "" {
-		snap = pollPeer(context.Background(), *peer, *peerToken, *peerInterval, jw, recPolls)
+		snap = pollPeer(context.Background(), *peer, *peerToken, *peerInterval, eng, hintModel)
 		log.Printf("eona-lg: polling partner %s every %v", *peer, *peerInterval)
+	}
+
+	var history http.HandlerFunc
+	if recovered != nil {
+		history = summariesHistory(recovered)
 	}
 
 	srv := eona.NewServer(store, limiter, src)
@@ -115,7 +138,7 @@ func main() {
 	log.Printf("eona-lg: serving %s looking glass on %s (wire %s)", *role, *addr, eona.WireVersion)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(srv.Handler(), *peer, snap),
+		Handler:           newMux(srv.Handler(), *peer, snap, history),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      10 * time.Second,
@@ -126,47 +149,91 @@ func main() {
 	}
 }
 
+// collectorConfig is the demo AppP's collector shape, shared by the live
+// QoE read model and historical materializations so time-travel answers
+// come from the same blinding policy the live surface applies.
+func collectorConfig() core.CollectorConfig {
+	return core.CollectorConfig{
+		AppP:   "demo-vod",
+		Policy: core.ExportPolicy{MinGroupSessions: 2},
+		Window: 5 * time.Minute,
+		Seed:   42,
+	}
+}
+
+// buildEngine assembles the server's projection engine: the QoE rollup and
+// I2A hint read models folding every journaled record. With jw nil the
+// engine runs fold-only — read models stay live, nothing persists.
+func buildEngine(jw *journal.Writer) (*projection.Engine, *projection.QoE, *projection.Hints, error) {
+	qoeModel := projection.NewQoE(collectorConfig())
+	hintModel := projection.NewHints()
+	eng, err := projection.NewEngine(projection.Config{Writer: jw, CheckpointEvery: 64}, qoeModel, hintModel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return eng, qoeModel, hintModel, nil
+}
+
+// summariesHistory serves GET /v1/history/summaries over the journal as
+// recovered at boot: MaterializeAt rebuilds the QoE read model at the
+// requested stream offset in O(distance to its nearest checkpoint).
+func summariesHistory(rec *journal.Recovered) http.HandlerFunc {
+	return lookingglass.HistoryHandler(
+		func() int { return len(rec.Stream) },
+		func(offset int) (any, error) {
+			q := projection.NewQoE(collectorConfig())
+			if err := projection.MaterializeAt(rec, offset, q); err != nil {
+				return nil, err
+			}
+			return q.Summaries(), nil
+		})
+}
+
 // pollPeer starts the hardened background poller against a partner looking
 // glass: per-attempt timeouts, jittered exponential backoff while the
 // partner is failing, a circuit breaker that probes half-open after a
-// cooldown, and hint confidence decaying on ten polling intervals. With a
-// journal, every successful poll is persisted and the snapshot warm-starts
-// from the newest journaled poll of this peer — confidence decays from its
-// original fetch time, so a restart inherits last-known-good hints at an
-// honest trust level instead of starting blind.
-func pollPeer(ctx context.Context, base, token string, interval time.Duration, jw *journal.Writer, recovered []journal.PollRecord) *lookingglass.Snapshot[[]core.PeeringInfo] {
+// cooldown, and hint confidence decaying on ten polling intervals. Every
+// successful poll is appended through the projection engine — journaled
+// when one is attached, and folded into the hint read model either way —
+// and the snapshot warm-starts from that read model's newest hint for this
+// peer: confidence decays from its original fetch time, so a restart
+// inherits last-known-good hints at an honest trust level instead of
+// starting blind.
+func pollPeer(ctx context.Context, base, token string, interval time.Duration, eng *projection.Engine, hintModel *projection.Hints) *lookingglass.Snapshot[[]core.PeeringInfo] {
 	client := lookingglass.NewClient(base, token, nil)
 	snap, _ := lookingglass.PollWith(ctx, lookingglass.PollConfig{
 		Interval: interval,
 		HalfLife: 10 * interval,
 	}, func(ctx context.Context) ([]core.PeeringInfo, error) {
 		v, err := client.PeeringInfo(ctx, "")
-		if err == nil && jw != nil {
+		if err == nil && eng != nil {
 			if data, merr := json.Marshal(v); merr == nil {
-				_ = jw.AppendPoll(journal.PollRecord{Source: base, At: time.Now().UTC(), Data: data})
+				_ = eng.AppendPoll(journal.PollRecord{Source: base, At: time.Now().UTC(), Data: data})
 			}
 		}
 		return v, err
 	})
-	for i := len(recovered) - 1; i >= 0; i-- {
-		if recovered[i].Source != base {
-			continue
+	if hintModel != nil {
+		if pr, ok := hintModel.Latest(base); ok {
+			var v []core.PeeringInfo
+			if err := json.Unmarshal(pr.Data, &v); err == nil {
+				snap.Seed(v, pr.At)
+			}
 		}
-		var v []core.PeeringInfo
-		if err := json.Unmarshal(recovered[i].Data, &v); err == nil {
-			snap.Seed(v, recovered[i].At)
-		}
-		break
 	}
 	return snap
 }
 
 // newMux mounts the looking-glass surfaces plus the unauthenticated
-// operational health endpoint.
-func newMux(lg http.Handler, peer string, snap *lookingglass.Snapshot[[]core.PeeringInfo]) *http.ServeMux {
+// operational endpoints: /v1/health always, /v1/history/summaries when the
+// server is journal-backed.
+func newMux(lg http.Handler, peer string, snap *lookingglass.Snapshot[[]core.PeeringInfo], history http.HandlerFunc) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/", lg)
 	mux.HandleFunc("GET /v1/health", healthHandler(peer, snap))
+	if history != nil {
+		mux.HandleFunc("GET /v1/history/summaries", history)
+	}
 	return mux
 }
 
@@ -218,37 +285,26 @@ func healthHandler(peer string, snap *lookingglass.Snapshot[[]core.PeeringInfo])
 	}
 }
 
-// apppSources builds an AppP's A2I surfaces from a collector. On a first
-// boot the collector is fed the deterministic synthetic session stream —
-// journaled, when a journal is attached, so the feed is durable. On a
-// restart (recovered non-empty) the journaled ingest stream is replayed
-// into the collector instead, bypassing the journal wrapper so history is
-// not re-appended: the rollups come back exactly as the crashed process
-// had them.
-func apppSources(jw *journal.Writer, recovered []core.QoERecord) eona.Sources {
-	inner := eona.NewA2ICollector(eona.CollectorConfig{
-		AppP:   "demo-vod",
-		Policy: eona.ExportPolicy{MinGroupSessions: 2},
-		Window: 5 * time.Minute,
-		Seed:   42,
-	})
-	col := inner
-	if jw != nil {
-		col = journal.WrapCollector(inner, jw)
-	}
-	if len(recovered) > 0 {
-		inner.IngestBatch(recovered)
-	} else {
-		feedSyntheticSessions(col)
+// apppSources builds an AppP's A2I surfaces from the QoE read model. On a
+// first boot (nothing folded yet) the deterministic synthetic session
+// stream is fed through the engine — journaled when a journal is attached,
+// folded into the read model either way. On a restart the caller has
+// already Resumed the engine, so the read model holds the journaled
+// history and the synthetic feed is skipped: the rollups come back exactly
+// as the crashed process had them, without re-journaling history.
+func apppSources(eng *projection.Engine, qoeModel *projection.QoE) eona.Sources {
+	if qoeModel.Ingested() == 0 {
+		feedSyntheticSessions(eng)
 	}
 	return eona.Sources{
-		QoESummaries:     col.Summaries,
-		TrafficEstimates: func() []eona.TrafficEstimate { return col.TrafficEstimates(200 * time.Second) },
+		QoESummaries:     qoeModel.Summaries,
+		TrafficEstimates: func() []eona.TrafficEstimate { return qoeModel.TrafficEstimates(200 * time.Second) },
 	}
 }
 
-// feedSyntheticSessions ingests the deterministic demo session stream.
-func feedSyntheticSessions(col eona.A2ICollector) {
+// feedSyntheticSessions ingests the deterministic demo session stream
+// through the projection engine.
+func feedSyntheticSessions(eng *projection.Engine) {
 	model := eona.DefaultModel()
 	isps := []string{"isp-a", "isp-b"}
 	cdns := []string{"cdnX", "cdnY"}
@@ -259,9 +315,11 @@ func feedSyntheticSessions(col eona.A2ICollector) {
 			BufferingTime: time.Duration(i%30) * time.Second,
 			AvgBitrate:    float64(1+i%4) * 1e6,
 		}
-		col.Ingest(eona.RecordFrom(model, m,
+		if err := eng.AppendIngest(eona.RecordFrom(model, m,
 			fmt.Sprintf("s%03d", i), "demo-vod", isps[i%2], cdns[i%3%2], "east",
-			time.Duration(i)*time.Second))
+			time.Duration(i)*time.Second)); err != nil {
+			log.Printf("eona-lg: journal ingest: %v", err)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"eona"
 	"eona/internal/core"
 	"eona/internal/journal"
+	"eona/internal/projection"
 )
 
 func serveRole(t *testing.T, src eona.Sources) *eona.Client {
@@ -23,8 +25,19 @@ func serveRole(t *testing.T, src eona.Sources) *eona.Client {
 	return eona.NewClient(ts.URL, "demo-token")
 }
 
+// foldOnlyAppp builds the appp sources over a fold-only projection engine
+// (no journal), as a journal-less server does.
+func foldOnlyAppp(t *testing.T) eona.Sources {
+	t.Helper()
+	eng, qoeModel, _, err := buildEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return apppSources(eng, qoeModel)
+}
+
 func TestApppSourcesServeA2I(t *testing.T) {
-	client := serveRole(t, apppSources(nil, nil))
+	client := serveRole(t, foldOnlyAppp(t))
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 
@@ -53,17 +66,23 @@ func TestApppSourcesServeA2I(t *testing.T) {
 	}
 }
 
-// TestJournalRestartRebuildsCollector pins the eona-lg crash/recover cycle
+// TestJournalRestartResumesReadModels pins the eona-lg crash/recover cycle
 // at the source-construction layer: a first boot feeds (and journals) the
-// synthetic sessions; a restart rebuilds the collector from the journal
-// instead, serving identical summaries — and without re-journaling history.
-func TestJournalRestartRebuildsCollector(t *testing.T) {
+// synthetic sessions through the projection engine, committing read-model
+// checkpoints on cadence; a restart resumes from the newest checkpoint and
+// refolds only the tail, serving identical summaries — without
+// re-journaling history and without refolding the whole stream.
+func TestJournalRestartResumesReadModels(t *testing.T) {
 	dir := t.TempDir()
 	w, err := journal.Open(journal.Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
-	src1 := apppSources(w, nil)
+	eng1, qoe1, _, err := buildEngine(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src1 := apppSources(eng1, qoe1)
 	sum1 := src1.QoESummaries()
 	traffic1 := src1.TrafficEstimates()
 	if len(sum1) == 0 {
@@ -80,12 +99,26 @@ func TestJournalRestartRebuildsCollector(t *testing.T) {
 	if len(rec.Ingests) != 200 {
 		t.Fatalf("journal holds %d ingests, want the 200 synthetic sessions", len(rec.Ingests))
 	}
+	if len(rec.Checkpoints) == 0 {
+		t.Fatal("first boot committed no read-model checkpoints")
+	}
 
 	w2, err := journal.Open(journal.Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
-	src2 := apppSources(w2, rec.Ingests)
+	eng2, qoe2, _, err := buildEngine(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng2.Resume(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail := stats.TailFolded[qoe2.Name()]; tail >= len(rec.Stream) {
+		t.Fatalf("resume refolded the whole stream (%d records); checkpoint unused", tail)
+	}
+	src2 := apppSources(eng2, qoe2)
 	if got := src2.QoESummaries(); !reflect.DeepEqual(got, sum1) {
 		t.Fatalf("recovered summaries differ:\n%+v\n%+v", got, sum1)
 	}
@@ -105,22 +138,23 @@ func TestJournalRestartRebuildsCollector(t *testing.T) {
 	}
 }
 
-// TestPollPeerSeedsFromJournal: a restart warm-starts the peer snapshot
-// from the newest journaled poll for that peer, at its original fetch time.
-func TestPollPeerSeedsFromJournal(t *testing.T) {
+// TestPollPeerSeedsFromHintModel: a restart warm-starts the peer snapshot
+// from the hint read model's newest poll for that peer, at its original
+// fetch time.
+func TestPollPeerSeedsFromHintModel(t *testing.T) {
 	hints := []core.PeeringInfo{{PeeringID: "B", CDN: "cdnX", HeadroomBps: 2e6}}
 	data, err := json.Marshal(hints)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fetchedAt := time.Now().Add(-42 * time.Second).UTC()
-	recovered := []journal.PollRecord{
-		{Source: "http://other/", At: fetchedAt.Add(-time.Hour), Data: []byte(`[]`)},
-		{Source: "http://peer/", At: fetchedAt, Data: data},
-	}
+	hintModel := projection.NewHints()
+	hintModel.FoldPoll(journal.PollRecord{Source: "http://other/", At: fetchedAt.Add(-time.Hour), Data: []byte(`[]`)})
+	hintModel.FoldPoll(journal.PollRecord{Source: "http://peer/", At: fetchedAt, Data: data})
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	snap := pollPeer(ctx, "http://peer/", "tok", time.Hour, nil, recovered)
+	snap := pollPeer(ctx, "http://peer/", "tok", time.Hour, nil, hintModel)
 	v, at, ok := snap.Get()
 	if !ok {
 		t.Fatal("snapshot not seeded")
@@ -130,6 +164,85 @@ func TestPollPeerSeedsFromJournal(t *testing.T) {
 	}
 	if !reflect.DeepEqual(v, hints) {
 		t.Fatalf("seeded value %+v, want %+v", v, hints)
+	}
+}
+
+// TestHistorySummariesEndpoint: a journaled boot's history is queryable at
+// any stream offset; the newest offset equals the live surface, offset 0
+// is empty, and out-of-range offsets are client errors.
+func TestHistorySummariesEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	w, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, qoeModel, _, err := buildEngine(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := apppSources(eng, qoeModel)
+	liveSums := src.QoESummaries()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := journal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(newMux(http.NotFoundHandler(), "", nil, summariesHistory(rec)))
+	defer ts.Close()
+
+	get := func(q string) (int, *struct {
+		Offset    int               `json:"offset"`
+		MaxOffset int               `json:"max_offset"`
+		Data      []core.QoESummary `json:"data"`
+	}) {
+		resp, err := http.Get(ts.URL + "/v1/history/summaries" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, nil
+		}
+		out := &struct {
+			Offset    int               `json:"offset"`
+			MaxOffset int               `json:"max_offset"`
+			Data      []core.QoESummary `json:"data"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	// Newest offset reproduces the live surface.
+	code, hr := get("")
+	if code != http.StatusOK {
+		t.Fatalf("history status = %d", code)
+	}
+	if hr.Offset != len(rec.Stream) || hr.MaxOffset != len(rec.Stream) {
+		t.Fatalf("newest offset = %d/%d, want %d", hr.Offset, hr.MaxOffset, len(rec.Stream))
+	}
+	if !reflect.DeepEqual(hr.Data, liveSums) {
+		t.Fatalf("historical summaries at the end differ from live:\n%+v\n%+v", hr.Data, liveSums)
+	}
+
+	// Offset 0 is the empty beginning of history.
+	if code, hr = get("?offset=0"); code != http.StatusOK || len(hr.Data) != 0 {
+		t.Fatalf("offset 0 → %d with %d summaries, want empty", code, len(hr.Data))
+	}
+
+	// A mid-history offset must answer without error (fewer or equal
+	// groups than the end).
+	if code, hr = get("?offset=100"); code != http.StatusOK || len(hr.Data) > len(liveSums) {
+		t.Fatalf("offset 100 → %d with %d summaries", code, len(hr.Data))
+	}
+
+	// Beyond the end is a client error.
+	if code, _ = get("?offset=1000000"); code != http.StatusBadRequest {
+		t.Fatalf("beyond-end offset → %d, want 400", code)
 	}
 }
 

@@ -22,6 +22,13 @@
 // converges, 1 on divergence:
 //
 //	eona-trace -bisect /var/lib/eona/sim.journal
+//
+// Time-travel a journal (see internal/journal.MaterializeAt): rebuild the
+// network as it stood after the first N ops — the nearest preceding
+// snapshot plus an O(distance) tail replay, not a full-history replay —
+// and print its state. -at -1 (the default) means the end of the log:
+//
+//	eona-trace -journal /var/lib/eona/sim.journal -at 120
 package main
 
 import (
@@ -47,7 +54,16 @@ func main() {
 	out := flag.String("out", "", "output CSV path (default stdout)")
 	inspect := flag.String("inspect", "", "inspect an existing trace instead of generating")
 	bisect := flag.String("bisect", "", "bisect an event journal's op log against a serial replay mirror")
+	jdir := flag.String("journal", "", "materialize a network from an event journal (use with -at)")
+	at := flag.Int("at", -1, "op index to materialize the journaled network at (-1 = end of log)")
 	flag.Parse()
+
+	if *jdir != "" {
+		if err := materializeJournal(os.Stdout, *jdir, *at); err != nil {
+			log.Fatalf("eona-trace: %v", err)
+		}
+		return
+	}
 
 	if *bisect != "" {
 		diverged, err := bisectJournal(os.Stdout, *bisect)
@@ -109,6 +125,40 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "eona-trace: wrote %d sessions to %s\n", len(sessions), *out)
 	}
+}
+
+// materializeJournal rebuilds the journaled network as it stood after the
+// first at ops (-1 = the whole log) and prints a summary of the rebuilt
+// state. The heavy lifting is journal.MaterializeAt: newest snapshot at or
+// before the index, then an O(distance) tail replay, each replayed op
+// verified against the digest the journal recorded.
+func materializeJournal(w io.Writer, dir string, at int) error {
+	rec, err := journal.Recover(dir)
+	if err != nil {
+		return err
+	}
+	if at < 0 || at > len(rec.Ops) {
+		at = len(rec.Ops)
+	}
+	net, tail, err := rec.MaterializeAt(at)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "journal      : %s\n", dir)
+	fmt.Fprintf(w, "ops          : %d (%d records in %d segments)\n", len(rec.Ops), len(rec.Stream), rec.Segments)
+	if rec.TruncatedBytes > 0 {
+		fmt.Fprintf(w, "torn tail    : %d bytes discarded\n", rec.TruncatedBytes)
+	}
+	fmt.Fprintf(w, "materialized : op %d\n", at)
+	if tail < at {
+		fmt.Fprintf(w, "snapshot     : imported at op %d, replayed %d tail ops\n", at-tail, tail)
+	} else {
+		fmt.Fprintf(w, "snapshot     : none usable, replayed all %d ops\n", tail)
+	}
+	snap := net.Snapshot()
+	fmt.Fprintf(w, "network      : %d flows over %d links\n", snap.NumFlows(), net.Topology().NumLinks())
+	fmt.Fprintf(w, "digest       : %016x\n", net.StateDigest())
+	return nil
 }
 
 // bisectJournal recovers the journal at dir and replays its op log against

@@ -82,8 +82,8 @@ func TestFacadeExperimentsRender(t *testing.T) {
 // with the deprecated per-experiment wrappers.
 func TestFacadeExperimentRegistry(t *testing.T) {
 	defs := eona.Experiments()
-	if len(defs) != 16 {
-		t.Fatalf("registry lists %d experiments, want 16", len(defs))
+	if len(defs) != 17 {
+		t.Fatalf("registry lists %d experiments, want 17", len(defs))
 	}
 	if _, ok := eona.LookupExperiment("E2"); !ok {
 		t.Fatal("E2 missing from registry")
@@ -98,8 +98,8 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	if want := eona.RunOscillation(3).Table().String(); tb.String() != want {
 		t.Error("registry E2 table differs from deprecated RunOscillation wrapper")
 	}
-	if got := len(eona.BindExperiments(eona.ExperimentConfig{Seed: 1})); got != 16 {
-		t.Errorf("BindExperiments bound %d experiments, want 16", got)
+	if got := len(eona.BindExperiments(eona.ExperimentConfig{Seed: 1})); got != 17 {
+		t.Errorf("BindExperiments bound %d experiments, want 17", got)
 	}
 }
 

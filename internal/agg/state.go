@@ -1,0 +1,80 @@
+package agg
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the aggregator state surface: every accumulator a projection
+// checkpoint needs to persist exposes its internals as plain data, and can
+// be rebuilt from that data bit-identically. The states are exact — no
+// re-observation, no approximation — so a collector restored from a
+// checkpoint answers every query exactly as the original would have.
+
+// WelfordState is a Welford accumulator as data.
+type WelfordState struct {
+	N        uint64
+	Mean, M2 float64
+	Min, Max float64
+}
+
+// State exports the accumulator.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max}
+}
+
+// Restore overwrites the accumulator with an exported state.
+func (w *Welford) Restore(st WelfordState) {
+	w.n, w.mean, w.m2, w.min, w.max = st.N, st.Mean, st.M2, st.Min, st.Max
+}
+
+// WindowedState is a Windowed ring as data: bucket duration plus the
+// parallel bucket/start arrays (starts of -1 mark never-touched buckets,
+// exactly as NewWindowed initializes them).
+type WindowedState struct {
+	BucketDur time.Duration
+	Buckets   []float64
+	Starts    []time.Duration
+}
+
+// State exports the ring. The result shares no memory with the ring.
+func (w *Windowed) State() WindowedState {
+	st := WindowedState{
+		BucketDur: w.bucketDur,
+		Buckets:   make([]float64, len(w.buckets)),
+		Starts:    make([]time.Duration, len(w.starts)),
+	}
+	copy(st.Buckets, w.buckets)
+	copy(st.Starts, w.starts)
+	return st
+}
+
+// RestoreWindowed rebuilds a ring from an exported state. The result shares
+// no memory with st.
+func RestoreWindowed(st WindowedState) (*Windowed, error) {
+	if st.BucketDur <= 0 || len(st.Buckets) == 0 || len(st.Buckets) != len(st.Starts) {
+		return nil, fmt.Errorf("agg: malformed WindowedState (%d buckets, %d starts, bucket %v)",
+			len(st.Buckets), len(st.Starts), st.BucketDur)
+	}
+	w := &Windowed{
+		bucketDur: st.BucketDur,
+		buckets:   make([]float64, len(st.Buckets)),
+		starts:    make([]time.Duration, len(st.Starts)),
+	}
+	copy(w.buckets, st.Buckets)
+	copy(w.starts, st.Starts)
+	return w, nil
+}
+
+// Ensure returns the group for k, creating (and registering it in
+// first-observation order) if absent — the restore-path counterpart of
+// Observe, which would otherwise need a phantom observation.
+func (r *Rollup[K]) Ensure(k K) *Group {
+	g, ok := r.groups[k]
+	if !ok {
+		g = &Group{metrics: make(map[string]*Welford)}
+		r.groups[k] = g
+		r.order = append(r.order, k)
+	}
+	return g
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"eona/internal/agg"
+)
+
+// MetricState is one named Welford accumulator of a rollup group.
+type MetricState struct {
+	Name    string
+	Welford agg.WelfordState
+}
+
+// GroupState is one rollup group: its key plus every metric, sorted by
+// metric name so the export is deterministic.
+type GroupState struct {
+	Key     SummaryKey
+	Metrics []MetricState
+}
+
+// TrafficState is one CDN's windowed traffic accumulators.
+type TrafficState struct {
+	CDN            string
+	Bits, Sessions agg.WindowedState
+}
+
+// CollectorState is a Collector's full aggregation state as data — what a
+// projection checkpoint persists. Groups appear in first-observation order
+// and traffic entries sorted by CDN, so exporting the same collector state
+// always yields the same bytes once encoded. Policy, window and seed are
+// deliberately absent: they are configuration, not accumulated state, and a
+// restored collector is built with the same CollectorConfig as the original
+// (noise streams restart from the seed, the same semantics a journal
+// restart has always had).
+type CollectorState struct {
+	Ingested uint64
+	Groups   []GroupState
+	Traffic  []TrafficState
+}
+
+// ExportState captures the collector's aggregation state. The result shares
+// no memory with the collector.
+func (c *Collector) ExportState() CollectorState {
+	st := CollectorState{Ingested: c.ingested}
+	for _, key := range c.rollup.Keys() {
+		g := c.rollup.Group(key)
+		gs := GroupState{Key: key}
+		for _, name := range g.Metrics() {
+			gs.Metrics = append(gs.Metrics, MetricState{Name: name, Welford: g.Metric(name).State()})
+		}
+		st.Groups = append(st.Groups, gs)
+	}
+	for _, cdn := range sortedCDNs(c.trafficBits) {
+		st.Traffic = append(st.Traffic, TrafficState{
+			CDN:      cdn,
+			Bits:     c.trafficBits[cdn].State(),
+			Sessions: c.trafficSessions[cdn].State(),
+		})
+	}
+	return st
+}
+
+// ImportState restores an exported aggregation state onto a fresh collector
+// built with the same CollectorConfig. Groups are re-created in the
+// exported (first-observation) order, so iteration order — and therefore
+// summary order and noise-stream consumption — matches the original
+// collector exactly. The collector must be fresh: importing over existing
+// observations is an error.
+func (c *Collector) ImportState(st CollectorState) error {
+	if c.ingested != 0 || c.rollup.Len() != 0 || len(c.trafficBits) != 0 {
+		return fmt.Errorf("core: ImportState on a non-fresh collector (%d ingested, %d groups)", c.ingested, c.rollup.Len())
+	}
+	c.ingested = st.Ingested
+	for _, gs := range st.Groups {
+		g := c.rollup.Ensure(gs.Key)
+		for _, ms := range gs.Metrics {
+			g.Metric(ms.Name).Restore(ms.Welford)
+		}
+	}
+	for _, ts := range st.Traffic {
+		bits, err := agg.RestoreWindowed(ts.Bits)
+		if err != nil {
+			return fmt.Errorf("core: ImportState traffic bits for %q: %w", ts.CDN, err)
+		}
+		sessions, err := agg.RestoreWindowed(ts.Sessions)
+		if err != nil {
+			return fmt.Errorf("core: ImportState traffic sessions for %q: %w", ts.CDN, err)
+		}
+		c.trafficBits[ts.CDN] = bits
+		c.trafficSessions[ts.CDN] = sessions
+	}
+	return nil
+}
+
+func sortedCDNs(m map[string]*agg.Windowed) []string {
+	cdns := make([]string, 0, len(m))
+	for cdn := range m {
+		cdns = append(cdns, cdn)
+	}
+	sort.Strings(cdns)
+	return cdns
+}

@@ -1,0 +1,95 @@
+package expt
+
+import (
+	"sync"
+	"testing"
+)
+
+// RunE17 journals and recovers nine arms (disk I/O, thousands of records);
+// share one run across the assertions.
+var e17Once struct {
+	sync.Once
+	res E17Result
+}
+
+func e17Result() E17Result {
+	e17Once.Do(func() { e17Once.res = RunE17(1) })
+	return e17Once.res
+}
+
+// Every arm must be digest-verified: the rebuilt network equal to the live
+// pre-crash digest and every folder fingerprint equal to its live
+// counterpart. An unverified arm means a recovery path that silently
+// diverges from the history it claims to rebuild.
+func TestE17AllArmsVerified(t *testing.T) {
+	for _, p := range e17Result().Points {
+		if !p.Verified {
+			t.Errorf("records=%d arm=%s: rebuilt state diverged from live", p.Records, p.Arm)
+		}
+	}
+}
+
+// The checkpoint contract: replay-all refolds the whole stream at every
+// size; projection-resume's folded tail is bounded by the checkpoint
+// cadence — flat in history length — and therefore strictly below
+// replay-all everywhere. Wall times are reported, not asserted (CI noise);
+// the tails are the structural fact the times follow.
+func TestE17ResumeTailBounded(t *testing.T) {
+	// A resume tail may trail the last checkpoint batch by up to one
+	// cadence of folded records plus the sibling checkpoint frames.
+	const bound = E17Every + 8
+	for _, p := range e17Result().Points {
+		switch p.Arm {
+		case E17ReplayAll:
+			if p.TailRecords != p.Stream || p.TailOps != p.Ops {
+				t.Errorf("records=%d replay-all folded %d/%d records, replayed %d/%d ops; want the whole history",
+					p.Records, p.TailRecords, p.Stream, p.TailOps, p.Ops)
+			}
+		case E17NetSnapshot:
+			if p.TailOps > E17Every {
+				t.Errorf("records=%d net-snapshot replayed %d tail ops, want <= %d", p.Records, p.TailOps, E17Every)
+			}
+			if p.TailRecords != p.Stream {
+				t.Errorf("records=%d net-snapshot folded %d records, want the whole stream %d", p.Records, p.TailRecords, p.Stream)
+			}
+		case E17ProjResume:
+			if p.TailRecords > bound {
+				t.Errorf("records=%d projection-resume folded %d tail records, want <= %d (cadence-bounded)",
+					p.Records, p.TailRecords, bound)
+			}
+			if p.TailRecords >= p.Stream {
+				t.Errorf("records=%d projection-resume folded %d of %d records; checkpoint unused",
+					p.Records, p.TailRecords, p.Stream)
+			}
+			if p.TailOps > E17Every {
+				t.Errorf("records=%d projection-resume replayed %d tail ops, want <= %d", p.Records, p.TailOps, E17Every)
+			}
+		}
+	}
+}
+
+// The histories must actually grow: each swept size's recovered stream
+// strictly longer than the last, so the flat resume tail is measured
+// against a genuinely growing log.
+func TestE17HistoriesGrow(t *testing.T) {
+	prev := 0
+	for _, p := range e17Result().Points {
+		if p.Arm != E17ReplayAll {
+			continue
+		}
+		if p.Stream <= prev {
+			t.Errorf("records=%d: stream %d not longer than previous size %d", p.Records, p.Stream, prev)
+		}
+		if p.Stream < p.Records {
+			t.Errorf("records=%d: stream %d shorter than requested", p.Records, p.Stream)
+		}
+		prev = p.Stream
+	}
+}
+
+func TestE17TableShape(t *testing.T) {
+	tab := e17Result().Table()
+	if want := 3 * len(E17RecordCounts); len(tab.Rows) != want {
+		t.Fatalf("table has %d rows, want %d", len(tab.Rows), want)
+	}
+}

@@ -45,7 +45,7 @@ func (d Definition) Bind(cfg Config) Experiment {
 	return Experiment{ID: d.ID, Slow: d.Slow, Run: func() *Table { return d.Run(cfg) }}
 }
 
-// Definitions returns the full E1–E16 registry in suite order. The slice
+// Definitions returns the full E1–E17 registry in suite order. The slice
 // is freshly allocated; callers may filter or reorder it.
 func Definitions() []Definition {
 	return []Definition{
@@ -81,6 +81,8 @@ func Definitions() []Definition {
 			Run: func(c Config) *Table { return RunE15(c.Seed).Table() }},
 		{ID: "E16", Title: "crash/recovery sweep — recovery time vs journal length",
 			Run: func(c Config) *Table { return RunE16(c.Seed).Table() }},
+		{ID: "E17", Title: "projection resume — recovery cost vs history length", Slow: true,
+			Run: func(c Config) *Table { return RunE17(c.Seed).Table() }},
 	}
 }
 

@@ -8,10 +8,10 @@ import (
 
 func TestSuiteShape(t *testing.T) {
 	exps := Suite(1, E7Config{})
-	if len(exps) != 16 {
-		t.Fatalf("suite has %d experiments, want 16", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("suite has %d experiments, want 17", len(exps))
 	}
-	slow := map[string]bool{"E1": true, "E4": true, "E7": true}
+	slow := map[string]bool{"E1": true, "E4": true, "E7": true, "E17": true}
 	for i, e := range exps {
 		if e.ID == "" || e.Run == nil {
 			t.Fatalf("experiment %d incomplete: %+v", i, e)

@@ -1,11 +1,14 @@
 package journal
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
+	"eona/internal/core"
 	"eona/internal/netsim"
 )
 
@@ -68,7 +71,12 @@ func writeCrashCopy(t *testing.T, segs [][]byte, seg, off int) string {
 // snapshot + catch-up when a snapshot survived — to a state bit-identical
 // to a from-scratch serial replay of that prefix, and every digest matches
 // what the uninterrupted run recorded (RecoverNetwork verifies per op).
-func checkCrashRecovery(t *testing.T, crashDir string, totalOps int) {
+// It also pins the checkpoint/offset invariants: a surviving checkpoint's
+// offset never exceeds the recovered stream, offsets are nondecreasing per
+// folder, and a checkpoint never claims coverage of ingests that did not
+// survive below it (the fold-then-checkpoint append order makes the offset
+// a true low-water mark).
+func checkCrashRecovery(t *testing.T, crashDir string, totalOps, totalIngests int) {
 	t.Helper()
 	rec, err := Recover(crashDir)
 	if err != nil {
@@ -76,6 +84,39 @@ func checkCrashRecovery(t *testing.T, crashDir string, totalOps int) {
 	}
 	if len(rec.Ops) > totalOps {
 		t.Fatalf("recovered %d ops from a prefix of a %d-op run", len(rec.Ops), totalOps)
+	}
+	if len(rec.Ingests) > totalIngests {
+		t.Fatalf("recovered %d ingests from a prefix of a %d-ingest run", len(rec.Ingests), totalIngests)
+	}
+	// The surviving ingests must be an exact prefix of the appended
+	// sequence (append order, no holes).
+	for i, ir := range rec.Ingests {
+		if want := fmt.Sprintf("crash-%03d", i); ir.SessionID != want {
+			t.Fatalf("ingest %d is %q, want prefix order %q", i, ir.SessionID, want)
+		}
+	}
+	for name, cps := range rec.Checkpoints {
+		prev := uint64(0)
+		for i, cp := range cps {
+			if cp.Offset > uint64(len(rec.Stream)) {
+				t.Fatalf("checkpoint %q[%d] offset %d beyond stream %d", name, i, cp.Offset, len(rec.Stream))
+			}
+			if cp.Offset < prev {
+				t.Fatalf("checkpoint %q[%d] offset %d below predecessor %d", name, i, cp.Offset, prev)
+			}
+			prev = cp.Offset
+			// The crashfold state records how many ingests the checkpoint
+			// covers; all of them must have survived below it.
+			if name == "crashfold" {
+				claimed, err := strconv.Atoi(string(cp.State))
+				if err != nil {
+					t.Fatalf("checkpoint %q[%d] state %q: %v", name, i, cp.State, err)
+				}
+				if claimed > len(rec.Ingests) {
+					t.Fatalf("checkpoint %q[%d] covers %d ingests, only %d survived", name, i, claimed, len(rec.Ingests))
+				}
+			}
+		}
 	}
 	if rec.Topo == nil {
 		// Cut before the topology record finished: nothing to rebuild.
@@ -127,6 +168,28 @@ func TestCrashAtEveryRecordBoundary(t *testing.T) {
 					t.Fatal(err)
 				}
 				_, ops := driveJournaled(t, w, net, paths, int64(31+snapEvery), snapEvery)
+				// Tail of interleaved ingests and projection checkpoints, so
+				// the sweep also cuts inside and between recIngest/recProjCkpt
+				// frames. Each checkpoint's state records the ingest count it
+				// covers — the offset-commit invariant checkCrashRecovery
+				// verifies on every prefix.
+				ingests := 0
+				for cr := 0; cr < 3; cr++ {
+					for k := 0; k < 4; k++ {
+						err := w.AppendIngest(core.QoERecord{
+							SessionID: fmt.Sprintf("crash-%03d", ingests),
+							AppP:      "appp-crash", ClientISP: "isp-a",
+							CDN: "cdnX", Cluster: "c1", Score: float64(ingests),
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						ingests++
+					}
+					if err := w.AppendCheckpoint("crashfold", []byte(strconv.Itoa(ingests))); err != nil {
+						t.Fatal(err)
+					}
+				}
 				if err := w.Close(); err != nil {
 					t.Fatal(err)
 				}
@@ -150,7 +213,7 @@ func TestCrashAtEveryRecordBoundary(t *testing.T) {
 					cuts = append(cuts, 0, len(segMagic)-2)
 					for _, off := range cuts {
 						crashDir := writeCrashCopy(t, segs, si, off)
-						checkCrashRecovery(t, crashDir, len(ops))
+						checkCrashRecovery(t, crashDir, len(ops), ingests)
 					}
 				}
 			})

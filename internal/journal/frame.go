@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
+	"path/filepath"
 )
 
 // Frame layout, little-endian:
@@ -97,6 +99,44 @@ func scanFrame(data []byte, off int) (typ byte, payload []byte, next int, err er
 		return 0, nil, off, ErrTorn
 	}
 	return data[off+8], data[off+frameHeader : end], end, nil
+}
+
+// FrameBoundaries returns every offset in one segment's bytes that lies on
+// a frame boundary: just after the magic, then after each complete frame.
+// Crash-injection sweeps (here and in consumers like internal/projection)
+// cut the file at and between these offsets to simulate a kill mid-write. A
+// torn tail stops the walk; the returned offsets cover the valid prefix.
+func FrameBoundaries(data []byte) []int {
+	if len(data) < len(segMagic) {
+		return nil
+	}
+	bounds := []int{len(segMagic)}
+	off := len(segMagic)
+	for {
+		_, _, next, err := scanFrame(data, off)
+		if err != nil {
+			return bounds
+		}
+		bounds = append(bounds, next)
+		off = next
+	}
+}
+
+// SegmentPaths lists a journal directory's segment files, oldest first, as
+// full paths. A missing directory yields an empty list like Recover does.
+func SegmentPaths(dir string) ([]string, error) {
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	paths := make([]string, len(segs))
+	for i, name := range segs {
+		paths[i] = filepath.Join(dir, name)
+	}
+	return paths, nil
 }
 
 // scanSegment walks every frame in a segment's bytes (after the magic

@@ -122,6 +122,32 @@ func FuzzDecodeOp(f *testing.F) {
 	})
 }
 
+// FuzzDecodeCkpt: the projection-checkpoint payload decoder must never
+// panic and must round-trip whatever it accepts — name, offset, digest and
+// the trailing state bytes all byte-stable through re-encode.
+func FuzzDecodeCkpt(f *testing.F) {
+	f.Add(appendCkptPayload(nil, "qoe", 42, Fingerprint([]byte(`{"n":7}`)), []byte(`{"n":7}`)))
+	f.Add(appendCkptPayload(nil, "", 0, 0, nil))
+	f.Add(appendCkptPayload(nil, "linkutil", 1<<40, 0xDEADBEEF, []byte{0, 1, 2, 0xFF}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, offset, digest, state, err := decodeCkptPayload(data)
+		if err != nil {
+			return
+		}
+		re := appendCkptPayload(nil, name, offset, digest, state)
+		n2, o2, d2, s2, err2 := decodeCkptPayload(re)
+		if err2 != nil {
+			t.Fatalf("re-encoded checkpoint failed to decode: %v", err2)
+		}
+		if n2 != name || o2 != offset || d2 != digest || !bytes.Equal(s2, state) {
+			t.Fatalf("checkpoint round trip drifted: %q/%d/%x/%x vs %q/%d/%x/%x",
+				name, offset, digest, state, n2, o2, d2, s2)
+		}
+	})
+}
+
 // FuzzDecodeSnap: the snapshot payload decoder must never panic and must
 // round-trip whatever it accepts.
 func FuzzDecodeSnap(f *testing.F) {

@@ -107,9 +107,14 @@ type Writer struct {
 	size    int64 // bytes written to the active segment
 	seg     int   // active segment index
 	opCount uint64
-	buf     []byte // frame-encode scratch, reused per record
-	payload []byte // payload-encode scratch, reused per record
-	err     error
+	// recCount counts every valid record in the journal (recovered +
+	// appended this process), of all types including checkpoints. It is the
+	// offset a checkpoint frame commits: the count of records that precede
+	// it in the stream.
+	recCount uint64
+	buf      []byte // frame-encode scratch, reused per record
+	payload  []byte // payload-encode scratch, reused per record
+	err      error
 }
 
 // Open opens (or creates) the journal in cfg.Dir for appending. An existing
@@ -151,6 +156,7 @@ func Open(cfg Config) (*Writer, error) {
 			if typ == recOp {
 				w.opCount++
 			}
+			w.recCount++
 			return nil
 		})
 		if serr != nil {
@@ -246,6 +252,7 @@ func (w *Writer) appendLocked(typ byte, payload []byte) error {
 		return w.err
 	}
 	w.size += int64(n)
+	w.recCount++
 	if w.cfg.Sync == SyncAppend {
 		if err := w.f.Sync(); err != nil {
 			w.err = fmt.Errorf("journal: sync: %w", err)
@@ -311,6 +318,22 @@ func (w *Writer) AppendSnapshot(st netsim.NetState, digest uint64) error {
 	return w.appendLocked(recNetSnap, w.payload)
 }
 
+// AppendCheckpoint commits one projection checkpoint: the folder's encoded
+// state plus the offset it is durable through — the count of records that
+// precede the checkpoint frame in the record stream. Offset, fingerprint
+// and state travel in a single CRC-covered frame, so the commit is atomic
+// under the journal's torn-tail contract: either the whole checkpoint
+// survives a crash or recovery falls back to the previous one. Because the
+// offset is assigned under the writer lock, data records a folder already
+// folded are always at stream positions below it — the fold-then-checkpoint
+// ordering callers follow makes the offset a true low-water mark.
+func (w *Writer) AppendCheckpoint(name string, state []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.payload = appendCkptPayload(w.payload[:0], name, w.recCount, Fingerprint(state), state)
+	return w.appendLocked(recProjCkpt, w.payload)
+}
+
 // AppendOpaque implements netsim.OpSink: marks an opaque Batch mutation the
 // journal could not capture op-by-op. Replay past this marker is unsound and
 // recovery says so.
@@ -369,6 +392,15 @@ func (w *Writer) Ops() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.opCount
+}
+
+// Records returns the number of records of all types in the journal
+// (recovered + appended this process) — the offset the next AppendCheckpoint
+// would commit.
+func (w *Writer) Records() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.recCount
 }
 
 // Close syncs (per policy) and closes the active segment. The writer is

@@ -509,9 +509,10 @@ func TestSideStreamsRoundTrip(t *testing.T) {
 	if len(rec.Polls) != 1 || !reflect.DeepEqual(rec.Polls[0], pr) {
 		t.Fatalf("polls %+v", rec.Polls)
 	}
-	// Replaying the recovered ingest stream rebuilds the collector.
+	// Replaying the recovered ingest stream rebuilds the collector — one
+	// batch in journal order, via the Recovered helper restart paths use.
 	rebuilt := core.NewA2ICollector(core.CollectorConfig{AppP: "appp-x"})
-	rebuilt.IngestBatch(rec.Ingests)
+	rec.ReplayIngests(rebuilt)
 	if a, b := rebuilt.Summaries(), inner.Summaries(); !reflect.DeepEqual(a, b) {
 		t.Fatalf("rebuilt summaries diverge:\n%+v\n%+v", a, b)
 	}

@@ -33,6 +33,13 @@ const (
 	// recOpaque marks an opaque Batch mutation that could not be captured
 	// op-by-op. Its presence makes op replay unsound; recovery reports it.
 	recOpaque byte = 7
+	// recProjCkpt carries one projection checkpoint: the folder's name, its
+	// committed offset (the count of records preceding this frame in the
+	// whole record stream), the state's fingerprint and the encoded state
+	// itself (binary, folder-defined). State and offset travel in one
+	// CRC-covered frame, so the commit is atomic: a crash mid-checkpoint
+	// tears the frame and recovery falls back to the previous checkpoint.
+	recProjCkpt byte = 8
 )
 
 // PollRecord is one looking-glass poll result as journaled by eona-lg: the
@@ -106,6 +113,22 @@ func (r *byteReader) str(what string) string {
 	return s
 }
 
+// bytes reads a uvarint-length-prefixed byte field, aliasing the payload —
+// callers copy if they retain it past the frame.
+func (r *byteReader) bytes(what string) []byte {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.fail(what)
+		return nil
+	}
+	b := r.b[:n]
+	r.b = r.b[n:]
+	return b
+}
+
 func (r *byteReader) done(what string) error {
 	if r.err != nil {
 		return r.err
@@ -137,7 +160,56 @@ func appendOpPayload(buf []byte, op netsim.Op, digest uint64) []byte {
 	return buf
 }
 
-func decodeOpPayload(p []byte) (netsim.Op, uint64, error) {
+// decoder is per-recovery decode scratch. A journal replay decodes tens of
+// thousands of records whose variable-width fields (op paths, tags) would
+// each allocate; the decoder amortizes them — link slices are carved out of
+// chunked arenas that outlive individual records, and tag strings are
+// interned (the map lookup on a []byte key compiles allocation-free), so a
+// log that reuses a handful of tags pays for each exactly once. The zero
+// value is ready to use; a decoder serves one goroutine.
+type decoder struct {
+	chunk []netsim.LinkID   // current link-ID arena chunk
+	tags  map[string]string // interned tag strings
+}
+
+// linkSlice carves an n-entry slice from the arena. Chunks are never
+// recycled while referenced — a full chunk is simply abandoned to its
+// existing slices and a fresh one started — so returned slices stay valid
+// for the life of the recovery.
+func (d *decoder) linkSlice(n int) []netsim.LinkID {
+	if n == 0 {
+		return nil
+	}
+	if len(d.chunk)+n > cap(d.chunk) {
+		c := 1024
+		if n > c {
+			c = n
+		}
+		d.chunk = make([]netsim.LinkID, 0, c)
+	}
+	s := d.chunk[len(d.chunk) : len(d.chunk)+n : len(d.chunk)+n]
+	d.chunk = d.chunk[:len(d.chunk)+n]
+	return s
+}
+
+// intern returns b as a string, reusing a previously decoded copy when one
+// exists. The m[string(b)] lookup does not allocate.
+func (d *decoder) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := d.tags[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if d.tags == nil {
+		d.tags = make(map[string]string)
+	}
+	d.tags[s] = s
+	return s
+}
+
+func (d *decoder) decodeOp(p []byte) (netsim.Op, uint64, error) {
 	var op netsim.Op
 	if len(p) == 0 {
 		return op, 0, fmt.Errorf("journal: empty op payload")
@@ -152,14 +224,21 @@ func decodeOpPayload(p []byte) (netsim.Op, uint64, error) {
 		r.fail("op path")
 	}
 	if r.err == nil && n > 0 {
-		op.Links = make([]netsim.LinkID, n)
+		op.Links = d.linkSlice(int(n))
 		for i := range op.Links {
 			op.Links[i] = netsim.LinkID(r.uvarint("op path link"))
 		}
 	}
-	op.Tag = r.str("op tag")
+	op.Tag = d.intern(r.bytes("op tag"))
 	digest := r.u64("op digest")
 	return op, digest, r.done("op record")
+}
+
+// decodeOpPayload is the scratch-free form, kept for one-shot callers
+// (fuzzers, tools) that decode a single payload.
+func decodeOpPayload(p []byte) (netsim.Op, uint64, error) {
+	var d decoder
+	return d.decodeOp(p)
 }
 
 func appendSnapPayload(buf []byte, opIndex uint64, st netsim.NetState, digest uint64) []byte {
@@ -189,7 +268,7 @@ func appendSnapPayload(buf []byte, opIndex uint64, st netsim.NetState, digest ui
 	return buf
 }
 
-func decodeSnapPayload(p []byte) (opIndex uint64, st netsim.NetState, digest uint64, err error) {
+func (d *decoder) decodeSnap(p []byte) (opIndex uint64, st netsim.NetState, digest uint64, err error) {
 	r := &byteReader{b: p}
 	opIndex = r.uvarint("snapshot op index")
 	digest = r.u64("snapshot digest")
@@ -204,13 +283,16 @@ func decodeSnapPayload(p []byte) (opIndex uint64, st netsim.NetState, digest uin
 		f.ID = netsim.FlowID(r.uvarint("flow id"))
 		f.Demand = r.f64("flow demand")
 		f.Weight = r.f64("flow weight")
-		f.Tag = r.str("flow tag")
+		f.Tag = d.intern(r.bytes("flow tag"))
 		nl := r.uvarint("flow path length")
 		if r.err == nil && nl > uint64(len(r.b)) {
 			r.fail("flow path")
 		}
-		for j := uint64(0); r.err == nil && j < nl; j++ {
-			f.Links = append(f.Links, netsim.LinkID(r.uvarint("flow path link")))
+		if r.err == nil && nl > 0 {
+			f.Links = d.linkSlice(int(nl))
+			for j := range f.Links {
+				f.Links[j] = netsim.LinkID(r.uvarint("flow path link"))
+			}
 		}
 		st.Flows = append(st.Flows, f)
 	}
@@ -229,6 +311,47 @@ func decodeSnapPayload(p []byte) (opIndex uint64, st netsim.NetState, digest uin
 		st.LinkRates = append(st.LinkRates, r.f64("link rate"))
 	}
 	return opIndex, st, digest, r.done("snapshot record")
+}
+
+// decodeSnapPayload is the scratch-free form, kept for one-shot callers.
+func decodeSnapPayload(p []byte) (opIndex uint64, st netsim.NetState, digest uint64, err error) {
+	var d decoder
+	return d.decodeSnap(p)
+}
+
+// appendCkptPayload frames one projection checkpoint: name, offset, state
+// fingerprint, then the raw state bytes to the end of the payload.
+func appendCkptPayload(buf []byte, name string, offset, digest uint64, state []byte) []byte {
+	buf = appendStr(buf, name)
+	buf = binary.AppendUvarint(buf, offset)
+	buf = appendU64(buf, digest)
+	return append(buf, state...)
+}
+
+func decodeCkptPayload(p []byte) (name string, offset, digest uint64, state []byte, err error) {
+	r := &byteReader{b: p}
+	name = r.str("checkpoint name")
+	offset = r.uvarint("checkpoint offset")
+	digest = r.u64("checkpoint digest")
+	if r.err != nil {
+		return "", 0, 0, nil, r.err
+	}
+	// The remainder is the folder-encoded state, aliasing p.
+	return name, offset, digest, r.b, nil
+}
+
+// Fingerprint hashes a byte slice with FNV-1a 64 — the digest stamped into
+// checkpoint frames and used by projections to compare encoded states. Same
+// construction as netsim.StateDigest's hasher, exported so folders outside
+// this package agree on the function.
+func Fingerprint(p []byte) uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
 }
 
 // ---- JSON payload codecs ---------------------------------------------------

@@ -140,6 +140,11 @@ type Network struct {
 	scratchAvail  []float64
 	scratchWeight []float64
 
+	// digestIDs is StateDigest's flow-ID sort buffer, reused per call so
+	// per-op digesting (journal capture, replay verification) stays
+	// allocation-free.
+	digestIDs []FlowID
+
 	// Index arena (arena.go): parallel arrays over dense flow indices,
 	// kept in lockstep by the mutators regardless of UseSoA.
 	arFlow   []*Flow

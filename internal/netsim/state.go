@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 )
@@ -136,11 +137,16 @@ func (n *Network) StateDigest() uint64 {
 	h := newFNV()
 	h.u64(uint64(n.nextID))
 	h.u64(math.Float64bits(n.MaxRate))
-	ids := make([]FlowID, 0, len(n.flows))
+	// The ID sort buffer is owned by the network: digests are taken per
+	// committed op on the journaling hot path and per replayed op during
+	// recovery, so a fresh slice + sort closure here would dominate replay
+	// allocations.
+	ids := n.digestIDs[:0]
 	for id := range n.flows {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	n.digestIDs = ids
 	for _, id := range ids {
 		f := n.flows[id]
 		h.u64(uint64(id))

@@ -1,0 +1,110 @@
+package projection
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Checkpoint state codecs are binary for the same reason the journal's op
+// records are: aggregator state routinely carries values JSON cannot
+// (±Inf demands in link-utilization inputs), and a canonical byte encoding
+// is what makes state digests meaningful — encode(decode(p)) == p, so a
+// folder's Fingerprint can be compared across processes. Varints for
+// counts, fixed 8-byte little-endian for float bits.
+
+// reader walks a checkpoint payload; the first malformed field latches err
+// and later reads return zeros, so decoders check once at the end. Mirrors
+// the journal's frame-payload reader (unexported there).
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("projection: truncated or malformed %s", what)
+	}
+}
+
+func (r *reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) i64(what string) int64   { return int64(r.u64(what)) }
+func (r *reader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *reader) str(what string) string {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)) < n {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *reader) bytes(what string) []byte {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.fail(what)
+		return nil
+	}
+	b := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return b
+}
+
+func (r *reader) done(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("projection: %d trailing bytes after %s", len(r.b), what)
+	}
+	return nil
+}
+
+func putUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+func putU64(buf []byte, v uint64) []byte     { return binary.LittleEndian.AppendUint64(buf, v) }
+func putI64(buf []byte, v int64) []byte      { return putU64(buf, uint64(v)) }
+func putF64(buf []byte, v float64) []byte    { return putU64(buf, math.Float64bits(v)) }
+
+func putStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func putBytes(buf, p []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p)))
+	return append(buf, p...)
+}

@@ -1,0 +1,89 @@
+package projection
+
+import (
+	"encoding/json"
+	"time"
+
+	"eona/internal/journal"
+)
+
+// Hints is the I2A hint-feed read model: the latest poll result per source,
+// so a restarted looking-glass node warm-starts its peer views from the
+// journal instead of waiting out a poll interval, and historical queries
+// can ask "what did we know at offset N". Sources are kept in
+// first-observation order for a deterministic encoding.
+type Hints struct {
+	Base
+	latest map[string]journal.PollRecord
+	order  []string
+	polls  uint64 // total poll records folded
+}
+
+// NewHints builds an empty hint feed.
+func NewHints() *Hints {
+	h := &Hints{}
+	h.Reset()
+	return h
+}
+
+func (h *Hints) Name() string { return "hints" }
+
+func (h *Hints) Reset() {
+	h.latest = make(map[string]journal.PollRecord)
+	h.order = h.order[:0]
+	h.polls = 0
+}
+
+// FoldPoll keeps the newest record per source (journal order — later
+// records supersede earlier ones).
+func (h *Hints) FoldPoll(pr journal.PollRecord) {
+	if _, ok := h.latest[pr.Source]; !ok {
+		h.order = append(h.order, pr.Source)
+	}
+	h.latest[pr.Source] = pr
+	h.polls++
+}
+
+// Latest returns the newest folded poll for a source.
+func (h *Hints) Latest(source string) (journal.PollRecord, bool) {
+	pr, ok := h.latest[source]
+	return pr, ok
+}
+
+// Sources returns the known sources in first-observation order.
+func (h *Hints) Sources() []string { return append([]string(nil), h.order...) }
+
+// Polls returns the total poll records folded.
+func (h *Hints) Polls() uint64 { return h.polls }
+
+func (h *Hints) EncodeState(buf []byte) []byte {
+	buf = putUvarint(buf, h.polls)
+	buf = putUvarint(buf, uint64(len(h.order)))
+	for _, src := range h.order {
+		pr := h.latest[src]
+		buf = putStr(buf, src)
+		buf = putI64(buf, pr.At.UnixNano())
+		buf = putBytes(buf, pr.Data)
+	}
+	return buf
+}
+
+func (h *Hints) DecodeState(p []byte) error {
+	r := &reader{b: p}
+	polls := r.uvarint("hints poll count")
+	n := r.uvarint("hints source count")
+	latest := make(map[string]journal.PollRecord, n)
+	var order []string
+	for i := uint64(0); r.err == nil && i < n; i++ {
+		src := r.str("hint source")
+		at := r.i64("hint time")
+		data := r.bytes("hint data")
+		order = append(order, src)
+		latest[src] = journal.PollRecord{Source: src, At: time.Unix(0, at).UTC(), Data: json.RawMessage(data)}
+	}
+	if err := r.done("hints state"); err != nil {
+		return err
+	}
+	h.latest, h.order, h.polls = latest, order, polls
+	return nil
+}

@@ -1,0 +1,158 @@
+package projection
+
+import (
+	"eona/internal/netsim"
+)
+
+// UtilPoint is one sample of the link-utilization series: the network-wide
+// mean and max link utilization (allocated rate / capacity) observed at the
+// snapshot taken after OpIndex ops.
+type UtilPoint struct {
+	OpIndex  int
+	MeanUtil float64
+	MaxUtil  float64
+	Links    int // links with positive capacity contributing to the means
+}
+
+// LinkUtil is the infrastructure-side read model: a utilization time series
+// over the op log, sampled at every journaled network snapshot, plus live
+// op-derived counters (ops folded, flow starts/stops, capacity edits). It
+// is the projection an InfP looking glass charts without replaying history.
+//
+// Poison rule: an opaque-batch marker means ops stopped describing the
+// network, so every op-derived number after it is suspect. The folder
+// latches Poisoned and keeps folding — the series stays queryable, the flag
+// tells consumers how far to trust it.
+type LinkUtil struct {
+	Base
+	series   []UtilPoint
+	ops      uint64
+	starts   uint64
+	stops    uint64
+	capEdits uint64
+	poisoned bool
+}
+
+// NewLinkUtil builds an empty utilization series.
+func NewLinkUtil() *LinkUtil {
+	l := &LinkUtil{}
+	l.Reset()
+	return l
+}
+
+func (l *LinkUtil) Name() string { return "linkutil" }
+
+func (l *LinkUtil) Reset() {
+	l.series = l.series[:0]
+	l.ops, l.starts, l.stops, l.capEdits = 0, 0, 0, 0
+	l.poisoned = false
+}
+
+func (l *LinkUtil) FoldOp(op netsim.Op, digest uint64) {
+	l.ops++
+	switch op.Kind {
+	case netsim.OpStart:
+		l.starts++
+	case netsim.OpStop:
+		l.stops++
+	case netsim.OpSetLinkCapacity:
+		l.capEdits++
+	}
+}
+
+// FoldSnapshot samples utilization from the snapshot's recorded link rates
+// and capacities — rates are allocator outputs the fold could not recompute
+// itself, which is exactly why the series samples at snapshot records.
+func (l *LinkUtil) FoldSnapshot(opIndex int, st *netsim.NetState) {
+	pt := UtilPoint{OpIndex: opIndex}
+	for i, cap := range st.Capacities {
+		if cap <= 0 || i >= len(st.LinkRates) {
+			continue
+		}
+		util := st.LinkRates[i] / cap
+		pt.MeanUtil += util
+		if util > pt.MaxUtil {
+			pt.MaxUtil = util
+		}
+		pt.Links++
+	}
+	if pt.Links > 0 {
+		pt.MeanUtil /= float64(pt.Links)
+	}
+	l.series = append(l.series, pt)
+}
+
+func (l *LinkUtil) FoldOpaque() { l.poisoned = true }
+
+// Series returns the sampled utilization points in journal order.
+func (l *LinkUtil) Series() []UtilPoint { return append([]UtilPoint(nil), l.series...) }
+
+// Ops, Starts, Stops and CapacityEdits are the folded op counters.
+func (l *LinkUtil) Ops() uint64 { return l.ops }
+
+// Starts returns the number of flow-start ops folded.
+func (l *LinkUtil) Starts() uint64 { return l.starts }
+
+// Stops returns the number of flow-stop ops folded.
+func (l *LinkUtil) Stops() uint64 { return l.stops }
+
+// CapacityEdits returns the number of capacity-edit ops folded.
+func (l *LinkUtil) CapacityEdits() uint64 { return l.capEdits }
+
+// Poisoned reports whether an opaque-batch marker was folded: op-derived
+// numbers past that point do not describe the real network.
+func (l *LinkUtil) Poisoned() bool { return l.poisoned }
+
+func (l *LinkUtil) EncodeState(buf []byte) []byte {
+	buf = putUvarint(buf, l.ops)
+	buf = putUvarint(buf, l.starts)
+	buf = putUvarint(buf, l.stops)
+	buf = putUvarint(buf, l.capEdits)
+	if l.poisoned {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = putUvarint(buf, uint64(len(l.series)))
+	for _, pt := range l.series {
+		buf = putUvarint(buf, uint64(pt.OpIndex))
+		buf = putF64(buf, pt.MeanUtil)
+		buf = putF64(buf, pt.MaxUtil)
+		buf = putUvarint(buf, uint64(pt.Links))
+	}
+	return buf
+}
+
+func (l *LinkUtil) DecodeState(p []byte) error {
+	r := &reader{b: p}
+	ops := r.uvarint("linkutil ops")
+	starts := r.uvarint("linkutil starts")
+	stops := r.uvarint("linkutil stops")
+	capEdits := r.uvarint("linkutil capacity edits")
+	var poisoned bool
+	if r.err == nil {
+		if len(r.b) == 0 {
+			r.fail("linkutil poisoned flag")
+		} else {
+			poisoned = r.b[0] != 0
+			r.b = r.b[1:]
+		}
+	}
+	n := r.uvarint("linkutil point count")
+	var series []UtilPoint
+	for i := uint64(0); r.err == nil && i < n; i++ {
+		var pt UtilPoint
+		pt.OpIndex = int(r.uvarint("linkutil point op index"))
+		pt.MeanUtil = r.f64("linkutil point mean")
+		pt.MaxUtil = r.f64("linkutil point max")
+		pt.Links = int(r.uvarint("linkutil point links"))
+		series = append(series, pt)
+	}
+	if err := r.done("linkutil state"); err != nil {
+		return err
+	}
+	l.ops, l.starts, l.stops, l.capEdits = ops, starts, stops, capEdits
+	l.poisoned = poisoned
+	l.series = series
+	return nil
+}

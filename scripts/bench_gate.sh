@@ -16,12 +16,14 @@ cd "$(dirname "$0")/.."
 # Default to the stable hot-path benchmarks: single-threaded collector
 # ingest, incremental reallocation, steady-state churn, snapshot reads
 # under writes, journal append, and the lockstep engine's serial instant
-# loop. The multi-worker and sharded variants are deliberately excluded —
+# loop, plus the projection hot paths: the incremental fold, checkpoint-
+# seeded materialization and the live (allocation-free) projected query.
+# The multi-worker and sharded variants are deliberately excluded —
 # their timings are scheduler-bound and too noisy for a 20% gate,
 # especially on small machines. (go test treats each unbracketed "|"
 # alternative as its own slash-separated pattern, so the /workers-1 below
 # filters only the ParallelEngineInstants sub-benchmarks.)
-pattern="${1:-^BenchmarkCollectorIngest\$|ParallelEngineInstants/workers-1|ReallocateIncremental|ChurnRails|ChurnSkewed|SharedReadScaling|^BenchmarkJournalAppend\$}"
+pattern="${1:-^BenchmarkCollectorIngest\$|ParallelEngineInstants/workers-1|ReallocateIncremental|ChurnRails|ChurnSkewed|SharedReadScaling|^BenchmarkJournalAppend\$|^BenchmarkProjectionFold\$|^BenchmarkMaterializeAt\$|^BenchmarkProjectedQuery\$}"
 latest=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
 if [ -z "$latest" ]; then
 	echo "bench gate: no BENCH_*.json recorded; skipping"
@@ -101,7 +103,7 @@ attempts=3
 for attempt in $(seq "$attempts"); do
 	go test -run '^$' -bench "$pattern" -benchtime 0.3s -count 5 -benchmem \
 		./internal/sim/... ./internal/core/... ./internal/netsim/... \
-		./internal/journal/... >>"$tmp"
+		./internal/journal/... ./internal/projection/... >>"$tmp"
 	if gate_check "$latest" "$tmp"; then
 		exit 0
 	fi

@@ -11,9 +11,9 @@ out="BENCH_$(date +%F).json"
 cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
 gomaxprocs="${GOMAXPROCS:-$cpus}"
 
-go test -run '^$' -bench 'Collector|Sharded|Realloc|Churn|Coalesc|SharedRead|ParallelEngine|EngineArm|Journal' -benchmem \
+go test -run '^$' -bench 'Collector|Sharded|Realloc|Churn|Coalesc|SharedRead|ParallelEngine|EngineArm|Journal|Projection|Projected|MaterializeAt' -benchmem \
 	-benchtime "$benchtime" ./internal/core/... ./internal/netsim/... ./internal/control/... \
-	./internal/sim/... ./internal/expt/... ./internal/journal/... |
+	./internal/sim/... ./internal/expt/... ./internal/journal/... ./internal/projection/... |
 	awk -v date="$(date +%F)" -v goversion="$(go env GOVERSION)" \
 		-v gomaxprocs="$gomaxprocs" -v cpus="$cpus" '
 	BEGIN {

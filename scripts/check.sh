@@ -15,12 +15,17 @@ go vet ./...
 # journal) and the allocator/control-loop packages (component registry,
 # reaction coalescing) before the full sweep.
 go test -race ./internal/core/... ./internal/agg/... ./internal/netsim/... \
-	./internal/control/... ./internal/lookingglass/... ./internal/journal/...
+	./internal/control/... ./internal/lookingglass/... ./internal/journal/... \
+	./internal/projection/...
 # The crash-injection sweep: kill the journal at every record boundary (and
 # seeded mid-record offsets) on every topology fixture; recovery must equal
-# a from-scratch serial replay of the surviving prefix.
+# a from-scratch serial replay of the surviving prefix. The projection sweep
+# does the same at every checkpoint/offset-commit boundary: resumed read
+# models must equal a from-scratch fold of the surviving prefix.
 go test -race -run 'TestCrashAtEveryRecordBoundary|TestOpenRepairsTornTail|TestTornMiddleSegmentDropsLater' \
 	./internal/journal/
+go test -race -run 'TestProjectionCrashSweep|TestResumeEqualsFromScratchFold|TestMaterializeAtDifferentialSweep' \
+	./internal/projection/
 # The E7 shared-network driver arm: concurrent drivers against one owner
 # goroutine, hammered under the race detector.
 go test -race -run 'TestE7SharedDriverArm|TestE7DriverSweepSkips' ./internal/expt/

@@ -54,7 +54,7 @@ pid=""
 echo "recover demo: restarting on the same journal"
 start_lg
 fetch_summaries >"$tmp/after.json"
-grep -o 'recovered [0-9]* ingests[^"]*' "$tmp/lg.log" | tail -1 | sed 's/^/recover demo: journal /' || true
+grep -o 'journal [^ ]* [0-9]* records[^"]*' "$tmp/lg.log" | tail -1 | sed 's/^/recover demo: /' || true
 
 if ! cmp -s "$tmp/before.json" "$tmp/after.json"; then
 	echo "recover demo: FAIL — summaries differ across the crash" >&2

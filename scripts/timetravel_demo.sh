@@ -1,0 +1,104 @@
+#!/bin/sh
+# Time-travel demo (`make timetravel`): journal an AppP looking-glass run,
+# then restart onto it and capture the history endpoint at three stream
+# offsets (empty past, mid-history, newest); kill -9 and restart again, and
+# re-query the same offsets. Historical answers are pure functions of the
+# journal prefix, so every capture must be byte-identical across the crash —
+# and the newest offset must carry as many summary groups as the live
+# surface serves. (The history endpoint serves the journal as recovered at
+# boot, so the first boot — which writes the history — is only a populator.)
+# Usage: scripts/timetravel_demo.sh [port]
+set -eu
+cd "$(dirname "$0")/.."
+
+port="${1:-18098}"
+base="http://127.0.0.1:$port"
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/eona-lg" ./cmd/eona-lg
+
+start_lg() {
+	"$tmp/eona-lg" -role appp -addr "127.0.0.1:$port" -journal "$tmp/journal" \
+		>>"$tmp/lg.log" 2>&1 &
+	pid=$!
+	i=0
+	until curl -sf "$base/v1/health" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "timetravel demo: server never came up; log:" >&2
+			cat "$tmp/lg.log" >&2
+			exit 1
+		fi
+		sleep 0.05
+	done
+}
+
+hist() {
+	curl -sf "$base/v1/history/summaries?offset=$1"
+}
+
+stop_lg() {
+	kill -9 "$pid"
+	wait "$pid" 2>/dev/null || true
+	pid=""
+}
+
+echo "timetravel demo: booting eona-lg -role appp -journal $tmp/journal on :$port (populate)"
+start_lg
+stop_lg
+
+echo "timetravel demo: restarting onto the journaled history"
+start_lg
+
+max=$(hist -1 | sed 's/.*"max_offset":\([0-9]*\).*/\1/')
+if [ -z "$max" ] || [ "$max" -lt 2 ]; then
+	echo "timetravel demo: FAIL — journal stream too short (max_offset=$max)" >&2
+	exit 1
+fi
+mid=$((max / 2))
+offsets="0 $mid $max"
+echo "timetravel demo: journal holds $max records; querying offsets $offsets"
+for off in $offsets; do
+	hist "$off" >"$tmp/before-$off.json"
+done
+if ! grep -q '"data":\[\]\|"data":null' "$tmp/before-0.json"; then
+	echo "timetravel demo: FAIL — offset 0 is not the empty beginning of history" >&2
+	cat "$tmp/before-0.json" >&2
+	exit 1
+fi
+if hist $((max + 1)) >/dev/null 2>&1; then
+	echo "timetravel demo: FAIL — offset beyond the journal end was accepted" >&2
+	exit 1
+fi
+
+echo "timetravel demo: kill -9 $pid; restarting on the same journal"
+stop_lg
+start_lg
+grep -o 'journal [^ ]* [0-9]* records[^"]*' "$tmp/lg.log" | tail -1 | sed 's/^/timetravel demo: /' || true
+
+for off in $offsets; do
+	hist "$off" >"$tmp/after-$off.json"
+	if ! cmp -s "$tmp/before-$off.json" "$tmp/after-$off.json"; then
+		echo "timetravel demo: FAIL — history at offset $off differs across the crash" >&2
+		diff "$tmp/before-$off.json" "$tmp/after-$off.json" >&2 || true
+		exit 1
+	fi
+done
+
+# The newest offset must reproduce the live surface: same group count as
+# /v1/a2i/summaries serves (the envelope differs, the rollups must not).
+live_groups=$(curl -sf -H 'Authorization: Bearer demo-token' "$base/v1/a2i/summaries" |
+	grep -o '"sessions":' | wc -l)
+hist_groups=$(grep -o '"sessions":' "$tmp/after-$max.json" | wc -l)
+if [ "$live_groups" -ne "$hist_groups" ]; then
+	echo "timetravel demo: FAIL — newest offset has $hist_groups groups, live serves $live_groups" >&2
+	exit 1
+fi
+
+echo "timetravel demo: OK — offsets $offsets byte-identical across kill -9; newest matches live ($live_groups groups)"
