@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench chaos recover timetravel fmt
+.PHONY: check build vet test race bench chaos recover timetravel dashboard fmt
 
 # Tier-1 gate: everything a PR must pass before merging.
 check: build vet race
@@ -33,6 +33,13 @@ recover:
 # three offsets, kill -9, restart, and verify the answers are byte-identical.
 timetravel:
 	scripts/timetravel_demo.sh
+
+# Control-plane smoke: boot eona-lg journaled, inject an impairment over
+# /v1, stream a few SSE samples, kill -9, restart, and verify the fault
+# replayed (eona-trace lists it; history answers are byte-identical).
+# SERVE=1 leaves the server running with the dashboard URL printed.
+dashboard:
+	scripts/ctlplane_smoke.sh
 
 fmt:
 	gofmt -l -w .

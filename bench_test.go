@@ -16,13 +16,14 @@ import (
 	"testing"
 
 	"eona"
+	"eona/internal/expt"
 )
 
 // BenchmarkE1FlashCrowd — Figure 3: flash crowd at the ISP access link.
 func BenchmarkE1FlashCrowd(b *testing.B) {
 	var r eona.FlashCrowdResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunFlashCrowd(1)
+		r = expt.RunE1(1)
 	}
 	b.ReportMetric(r.Baseline.MeanScore, "baseline-score")
 	b.ReportMetric(r.EONA.MeanScore, "eona-score")
@@ -35,7 +36,7 @@ func BenchmarkE1FlashCrowd(b *testing.B) {
 func BenchmarkE2Oscillation(b *testing.B) {
 	var r eona.OscillationResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunOscillation(1)
+		r = expt.RunE2(1)
 	}
 	b.ReportMetric(r.Baseline.MeanScore, "baseline-score")
 	b.ReportMetric(r.EONA.MeanScore, "eona-score")
@@ -48,7 +49,7 @@ func BenchmarkE2Oscillation(b *testing.B) {
 func BenchmarkE3Inference(b *testing.B) {
 	var r eona.InferenceResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunInference(1)
+		r = expt.RunE3(1)
 	}
 	b.ReportMetric(r.LinReg.MAE, "ols-mae")
 	b.ReportMetric(r.KNN.MAE, "knn-mae")
@@ -59,7 +60,7 @@ func BenchmarkE3Inference(b *testing.B) {
 func BenchmarkE4CoarseControl(b *testing.B) {
 	var r eona.CoarseControlResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunCoarseControl(1)
+		r = expt.RunE4(1)
 	}
 	b.ReportMetric(r.Baseline.CohortMeanStallSec, "baseline-stall-s")
 	b.ReportMetric(r.EONA.CohortMeanStallSec, "eona-stall-s")
@@ -70,7 +71,7 @@ func BenchmarkE4CoarseControl(b *testing.B) {
 func BenchmarkE5EnergySaving(b *testing.B) {
 	var r eona.EnergyResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunEnergySaving(1)
+		r = expt.RunE5(1)
 	}
 	for _, arm := range r.Arms {
 		switch arm.Name {
@@ -87,7 +88,7 @@ func BenchmarkE5EnergySaving(b *testing.B) {
 func BenchmarkE6Staleness(b *testing.B) {
 	var r eona.StalenessResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunStaleness(1)
+		r = expt.RunE6(1)
 	}
 	b.ReportMetric(r.Points[0].Result.MeanScore, "fresh-score")
 	b.ReportMetric(r.Points[len(r.Points)-1].Result.MeanScore, "stalest-score")
@@ -127,7 +128,7 @@ func BenchmarkE7Scalability(b *testing.B) {
 func BenchmarkE8InterfaceWidth(b *testing.B) {
 	var r eona.InterfaceWidthResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunInterfaceWidth(1)
+		r = expt.RunE8(1)
 	}
 	for _, arm := range r.Arms {
 		switch arm.Name {
@@ -144,7 +145,7 @@ func BenchmarkE8InterfaceWidth(b *testing.B) {
 func BenchmarkE9Timescales(b *testing.B) {
 	var r eona.TimescaleResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunTimescales(1)
+		r = expt.RunE9(1)
 	}
 	first := r.Points[0]
 	hours := first.Undampened.Config.Horizon.Hours()
@@ -156,7 +157,7 @@ func BenchmarkE9Timescales(b *testing.B) {
 func BenchmarkE10Fairness(b *testing.B) {
 	var r eona.FairnessResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunFairness(1)
+		r = expt.RunE10(1)
 	}
 	b.ReportMetric(r.Baseline.JainPerUser, "baseline-jain")
 	b.ReportMetric(r.EONA.JainPerUser, "eona-jain")
@@ -166,7 +167,7 @@ func BenchmarkE10Fairness(b *testing.B) {
 func BenchmarkE11Privacy(b *testing.B) {
 	var r eona.PrivacyResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunPrivacy(1)
+		r = expt.RunE11(1)
 	}
 	b.ReportMetric(r.Points[0].MeanScore, "exact-score")
 	b.ReportMetric(r.Points[len(r.Points)-1].MeanScore, "heaviest-noise-score")
@@ -177,7 +178,7 @@ func BenchmarkE11Privacy(b *testing.B) {
 func BenchmarkE12FeatureSelection(b *testing.B) {
 	var r eona.FeatureSelectionResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunFeatureSelection(1)
+		r = expt.RunE12(1)
 	}
 	b.ReportMetric(r.Ranking[0].Gain, "top-gain-bits")
 	b.ReportMetric(r.Ranking[len(r.Ranking)-1].Gain, "bottom-gain-bits")
@@ -187,7 +188,7 @@ func BenchmarkE12FeatureSelection(b *testing.B) {
 func BenchmarkE13WebCellular(b *testing.B) {
 	var r eona.WebCellularResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunWebCellular(1)
+		r = expt.RunE13(1)
 	}
 	b.ReportMetric(r.TTFBOnly.MAE, "ttfb-mae")
 	b.ReportMetric(r.RadioFlow.MAE, "radioflow-mae")
@@ -198,7 +199,7 @@ func BenchmarkE13WebCellular(b *testing.B) {
 func BenchmarkE14SearchSpace(b *testing.B) {
 	var r eona.SearchSpaceResult
 	for i := 0; i < b.N; i++ {
-		r = eona.RunSearchSpace(1)
+		r = expt.RunE14(1)
 	}
 	last := r.Points[len(r.Points)-1]
 	b.ReportMetric(float64(last.ExhaustiveEvals), "exhaustive-evals")

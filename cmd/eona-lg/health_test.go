@@ -22,12 +22,12 @@ func TestHealthEndpointWithPeer(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	snap := pollPeer(ctx, peerTS.URL, "demo-token", 5*time.Millisecond, nil, nil)
+	snap := pollPeer(ctx, peerTS.URL, "demo-token", 5*time.Millisecond, nil, nil, nil)
 
 	// Local server with the health endpoint mounted alongside the
 	// looking-glass surfaces.
 	local := eona.NewServer(store, nil, foldOnlyAppp(t))
-	ts := httptest.NewServer(newMux(local.Handler(), peerTS.URL, snap, nil))
+	ts := httptest.NewServer(newRouter(local, peerTS.URL, snap, nil, nil))
 	defer ts.Close()
 
 	deadline := time.Now().Add(2 * time.Second)
@@ -79,7 +79,7 @@ func TestHealthEndpointWithPeer(t *testing.T) {
 }
 
 func TestHealthEndpointWithoutPeer(t *testing.T) {
-	ts := httptest.NewServer(newMux(http.NotFoundHandler(), "", nil, nil))
+	ts := httptest.NewServer(newRouter(nil, "", nil, nil, nil))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/v1/health")
 	if err != nil {

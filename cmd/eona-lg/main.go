@@ -44,6 +44,21 @@
 //	curl 'http://localhost:8080/v1/history/summaries?offset=120'
 //	    the QoE summaries as they stood after the first 120 journal
 //	    records (omit offset, or -1, for the newest journaled state)
+//
+// Unless -netsim=false, the server also runs a small demo network (the
+// Figure 5 topology shape) through a netsim.SharedNetwork and mounts the
+// live control plane on the same /v1 surface: inspection endpoints
+// (/v1/topology, /v1/links, /v1/flows, /v1/components, /v1/stats), an SSE
+// metrics stream (/v1/stream), interactive impairments (/v1/impairments)
+// and an embedded operations dashboard at /dashboard. Inspection needs
+// scope ctl:read, impairments ctl:write; the -token admin grant covers
+// both. With -journal, every interactive impairment is journaled — the op
+// and its fault-event annotation replay across kill -9 like scripted
+// chaos, and eona-trace lists them.
+//
+//	curl -H 'Authorization: Bearer demo-token' \
+//	    -d '{"kind":"link-throttle","link":"peering-B","factor":0.2}' \
+//	    http://localhost:8080/v1/impairments
 package main
 
 import (
@@ -58,9 +73,13 @@ import (
 
 	"eona"
 	"eona/internal/core"
+	"eona/internal/ctlplane"
+	"eona/internal/faults"
 	"eona/internal/journal"
 	"eona/internal/lookingglass"
+	"eona/internal/netsim"
 	"eona/internal/projection"
+	"eona/internal/web"
 )
 
 func main() {
@@ -73,6 +92,7 @@ func main() {
 	peerInterval := flag.Duration("peer-interval", 10*time.Second, "partner polling interval")
 	journalDir := flag.String("journal", "", "journal directory: persist ingests and poll results, recover them on restart (optional)")
 	journalSync := flag.String("journal-sync", "append", "journal fsync policy: append | rotate | never")
+	netsimOn := flag.Bool("netsim", true, "run the demo network and mount the live control plane + dashboard")
 	flag.Parse()
 
 	store := eona.NewAuthStore()
@@ -97,7 +117,7 @@ func main() {
 		defer jw.Close()
 	}
 
-	eng, qoeModel, hintModel, err := buildEngine(jw)
+	eng, qoeModel, hintModel, utilModel, err := buildEngine(jw)
 	if err != nil {
 		log.Fatalf("eona-lg: %v", err)
 	}
@@ -122,9 +142,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	start := time.Now()
+	var live *faults.Live
+	if *peer != "" {
+		live = faults.NewLive(faults.WallClock(start))
+	}
+
 	var snap *lookingglass.Snapshot[[]core.PeeringInfo]
 	if *peer != "" {
-		snap = pollPeer(context.Background(), *peer, *peerToken, *peerInterval, eng, hintModel)
+		snap = pollPeer(context.Background(), *peer, *peerToken, *peerInterval, eng, hintModel, live)
 		log.Printf("eona-lg: polling partner %s every %v", *peer, *peerInterval)
 	}
 
@@ -133,12 +159,36 @@ func main() {
 		history = summariesHistory(recovered)
 	}
 
+	var ctl *ctlplane.Server
+	if *netsimOn {
+		shared, topo, err := buildDemoNetwork(eng, recovered)
+		if err != nil {
+			log.Fatalf("eona-lg: demo network: %v", err)
+		}
+		defer shared.Close()
+		ctl, err = ctlplane.New(ctlplane.Config{
+			Shared:   shared,
+			Topo:     topo,
+			Engine:   eng,
+			LinkUtil: utilModel,
+			QoE:      qoeModel,
+			Partner:  live,
+			Clock:    faults.WallClock(start),
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("eona-lg: control plane: %v", err)
+		}
+		log.Printf("eona-lg: control plane on /v1 (%d links, %d flows); dashboard at /dashboard",
+			topo.NumLinks(), shared.NumFlows())
+	}
+
 	srv := eona.NewServer(store, limiter, src)
 	srv.Logf = log.Printf
 	log.Printf("eona-lg: serving %s looking glass on %s (wire %s)", *role, *addr, eona.WireVersion)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(srv.Handler(), *peer, snap, history),
+		Handler:           newRouter(srv, *peer, snap, history, ctl),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      10 * time.Second,
@@ -161,17 +211,72 @@ func collectorConfig() core.CollectorConfig {
 	}
 }
 
-// buildEngine assembles the server's projection engine: the QoE rollup and
-// I2A hint read models folding every journaled record. With jw nil the
-// engine runs fold-only — read models stay live, nothing persists.
-func buildEngine(jw *journal.Writer) (*projection.Engine, *projection.QoE, *projection.Hints, error) {
+// buildEngine assembles the server's projection engine: the QoE rollup,
+// I2A hint, and link-utilization read models folding every journaled
+// record. With jw nil the engine runs fold-only — read models stay live,
+// nothing persists.
+func buildEngine(jw *journal.Writer) (*projection.Engine, *projection.QoE, *projection.Hints, *projection.LinkUtil, error) {
 	qoeModel := projection.NewQoE(collectorConfig())
 	hintModel := projection.NewHints()
-	eng, err := projection.NewEngine(projection.Config{Writer: jw, CheckpointEvery: 64}, qoeModel, hintModel)
+	utilModel := projection.NewLinkUtil()
+	eng, err := projection.NewEngine(projection.Config{Writer: jw, CheckpointEvery: 64}, qoeModel, hintModel, utilModel)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return eng, qoeModel, hintModel, nil
+	return eng, qoeModel, hintModel, utilModel, nil
+}
+
+// demoTopology is the control plane's demo network: the Figure 5 shape —
+// a client access link into isp-a, two peering paths toward cdnX (the
+// congested B and the spare-capacity C), and a transit path toward cdnY.
+func demoTopology() *netsim.Topology {
+	topo := netsim.NewTopology()
+	topo.AddLink("clients", "isp-a", 100e6, 5*time.Millisecond, "access")
+	topo.AddLink("isp-a", "cdnX", 100e6, 10*time.Millisecond, "peering-B")
+	topo.AddLink("isp-a", "cdnX", 400e6, 12*time.Millisecond, "peering-C")
+	topo.AddLink("isp-a", "cdnY", 80e6, 15*time.Millisecond, "transit-Y")
+	return topo
+}
+
+// buildDemoNetwork owns the control plane's network lifecycle. On a fresh
+// boot it journals the topology, builds the shared network and seeds the
+// demo flows through it — so every seed op is journaled too. On a restart
+// from a journal that already carries a topology it replays the op log
+// instead (MaterializeAt over every op), which reproduces the crashed
+// process's network — seeded flows, operator impairments and all — and
+// resumes journaling from there.
+func buildDemoNetwork(eng *projection.Engine, rec *journal.Recovered) (*netsim.SharedNetwork, *netsim.Topology, error) {
+	if rec != nil && rec.Topo != nil {
+		net, _, err := rec.MaterializeAt(len(rec.Ops))
+		if err != nil {
+			return nil, nil, err
+		}
+		shared := netsim.NewShared(net, netsim.SharedConfig{Journal: eng, SnapshotEvery: 32})
+		log.Printf("eona-lg: demo network replayed from journal (%d ops, %d flows)",
+			len(rec.Ops), shared.NumFlows())
+		return shared, net.Topology(), nil
+	}
+	topo := demoTopology()
+	if err := eng.AppendTopology(netsim.ExportTopology(topo)); err != nil {
+		return nil, nil, err
+	}
+	net := netsim.NewNetwork(topo)
+	shared := netsim.NewShared(net, netsim.SharedConfig{Journal: eng, SnapshotEvery: 32})
+	seedDemoFlows(shared, topo)
+	return shared, topo, nil
+}
+
+// seedDemoFlows starts a deterministic set of sessions across the three
+// egress paths so the dashboard has live traffic to show.
+func seedDemoFlows(shared *netsim.SharedNetwork, topo *netsim.Topology) {
+	links := topo.Links()
+	access := links[0]
+	egress := []*netsim.Link{links[1], links[2], links[3]}
+	for i := 0; i < 12; i++ {
+		path := netsim.Path{access, egress[i%3]}
+		shared.StartFlow(path, float64(2+i%4)*1e6, fmt.Sprintf("sess-%02d", i))
+	}
+	shared.Commit()
 }
 
 // summariesHistory serves GET /v1/history/summaries over the journal as
@@ -199,12 +304,12 @@ func summariesHistory(rec *journal.Recovered) http.HandlerFunc {
 // peer: confidence decays from its original fetch time, so a restart
 // inherits last-known-good hints at an honest trust level instead of
 // starting blind.
-func pollPeer(ctx context.Context, base, token string, interval time.Duration, eng *projection.Engine, hintModel *projection.Hints) *lookingglass.Snapshot[[]core.PeeringInfo] {
+// A non-nil live gate threads the control plane's partner impairments into
+// the fetch path: operator-injected outages and latency spikes hit this
+// poller exactly like real partner failures would.
+func pollPeer(ctx context.Context, base, token string, interval time.Duration, eng *projection.Engine, hintModel *projection.Hints, live *faults.Live) *lookingglass.Snapshot[[]core.PeeringInfo] {
 	client := lookingglass.NewClient(base, token, nil)
-	snap, _ := lookingglass.PollWith(ctx, lookingglass.PollConfig{
-		Interval: interval,
-		HalfLife: 10 * interval,
-	}, func(ctx context.Context) ([]core.PeeringInfo, error) {
+	fetch := faults.Gate(live, func(ctx context.Context) ([]core.PeeringInfo, error) {
 		v, err := client.PeeringInfo(ctx, "")
 		if err == nil && eng != nil {
 			if data, merr := json.Marshal(v); merr == nil {
@@ -213,6 +318,10 @@ func pollPeer(ctx context.Context, base, token string, interval time.Duration, e
 		}
 		return v, err
 	})
+	snap, _ := lookingglass.PollWith(ctx, lookingglass.PollConfig{
+		Interval: interval,
+		HalfLife: 10 * interval,
+	}, fetch)
 	if hintModel != nil {
 		if pr, ok := hintModel.Latest(base); ok {
 			var v []core.PeeringInfo
@@ -224,17 +333,32 @@ func pollPeer(ctx context.Context, base, token string, interval time.Duration, e
 	return snap
 }
 
-// newMux mounts the looking-glass surfaces plus the unauthenticated
-// operational endpoints: /v1/health always, /v1/history/summaries when the
-// server is journal-backed.
-func newMux(lg http.Handler, peer string, snap *lookingglass.Snapshot[[]core.PeeringInfo], history http.HandlerFunc) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.Handle("/", lg)
-	mux.HandleFunc("GET /v1/health", healthHandler(peer, snap))
-	if history != nil {
-		mux.HandleFunc("GET /v1/history/summaries", history)
+// newRouter composes the whole /v1 surface onto one route registry: the
+// looking-glass endpoints (scoped a2i:read / i2a:read), the unauthenticated
+// operational endpoints (/v1/health always, /v1/history/summaries when the
+// server is journal-backed), and — when the control plane is up — its
+// inspection/impairment/stream routes plus the dashboard page. Every
+// registered route shares the registry's bearer-token guard and the unified
+// {"error":{...}} envelope. A nil srv (tests) yields a registry with no
+// scoped routes.
+func newRouter(srv *lookingglass.Server, peer string, snap *lookingglass.Snapshot[[]core.PeeringInfo], history http.HandlerFunc, ctl *ctlplane.Server) http.Handler {
+	var rt *lookingglass.Routes
+	if srv != nil {
+		rt = srv.Routes()
+	} else {
+		rt = lookingglass.NewRoutes(nil, nil)
 	}
-	return mux
+	rt.HandleFunc("GET", "/v1/health", healthHandler(peer, snap))
+	if history != nil {
+		rt.HandleFunc("GET", "/v1/history/summaries", history)
+	}
+	if ctl != nil {
+		ctl.Register(rt)
+		dash := web.DashboardHandler()
+		rt.HandleFunc("GET", "/", dash)
+		rt.HandleFunc("GET", "/dashboard", dash)
+	}
+	return rt.Handler()
 }
 
 // healthPayload is the GET /v1/health document: the partner poller's

@@ -29,7 +29,7 @@ func serveRole(t *testing.T, src eona.Sources) *eona.Client {
 // (no journal), as a journal-less server does.
 func foldOnlyAppp(t *testing.T) eona.Sources {
 	t.Helper()
-	eng, qoeModel, _, err := buildEngine(nil)
+	eng, qoeModel, _, _, err := buildEngine(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestJournalRestartResumesReadModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng1, qoe1, _, err := buildEngine(w)
+	eng1, qoe1, _, _, err := buildEngine(w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestJournalRestartResumesReadModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng2, qoe2, _, err := buildEngine(w2)
+	eng2, qoe2, _, _, err := buildEngine(w2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestPollPeerSeedsFromHintModel(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	snap := pollPeer(ctx, "http://peer/", "tok", time.Hour, nil, hintModel)
+	snap := pollPeer(ctx, "http://peer/", "tok", time.Hour, nil, hintModel, nil)
 	v, at, ok := snap.Get()
 	if !ok {
 		t.Fatal("snapshot not seeded")
@@ -176,7 +176,7 @@ func TestHistorySummariesEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, qoeModel, _, err := buildEngine(w)
+	eng, qoeModel, _, _, err := buildEngine(w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestHistorySummariesEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ts := httptest.NewServer(newMux(http.NotFoundHandler(), "", nil, summariesHistory(rec)))
+	ts := httptest.NewServer(newRouter(nil, "", nil, summariesHistory(rec), nil))
 	defer ts.Close()
 
 	get := func(q string) (int, *struct {
@@ -243,6 +243,64 @@ func TestHistorySummariesEndpoint(t *testing.T) {
 	// Beyond the end is a client error.
 	if code, _ = get("?offset=1000000"); code != http.StatusBadRequest {
 		t.Fatalf("beyond-end offset → %d, want 400", code)
+	}
+}
+
+// TestDemoNetworkReplaysAcrossRestart pins the control plane's crash
+// story: a restart materializes the demo network from the journaled op
+// log, so the seeded flows and any operator capacity edits (impairments)
+// survive a kill -9 instead of resetting to the pristine topology.
+func TestDemoNetworkReplaysAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	w, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _, _, _, err := buildEngine(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, topo, err := buildDemoNetwork(eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.NumFlows() != 12 {
+		t.Fatalf("seeded %d flows, want 12", shared.NumFlows())
+	}
+	throttled := topo.Links()[1].ID
+	shared.SetLinkCapacity(throttled, 25e6)
+	shared.Commit()
+	shared.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := journal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	eng2, _, _, _, err := buildEngine(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Resume(rec); err != nil {
+		t.Fatal(err)
+	}
+	shared2, topo2, err := buildDemoNetwork(eng2, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared2.Close()
+	if shared2.NumFlows() != 12 {
+		t.Fatalf("replayed %d flows, want 12", shared2.NumFlows())
+	}
+	if got := shared2.Snapshot().Capacity(topo2.Links()[1].ID); got != 25e6 {
+		t.Fatalf("replayed capacity = %v, want the journaled throttle 25e6", got)
 	}
 }
 

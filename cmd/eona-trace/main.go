@@ -29,6 +29,10 @@
 // and print its state. -at -1 (the default) means the end of the log:
 //
 //	eona-trace -journal /var/lib/eona/sim.journal -at 120
+//
+// Journaled fault events — scripted chaos schedules or interactive
+// impairments injected through the eona-lg control plane — are listed
+// alongside the materialized state.
 package main
 
 import (
@@ -158,6 +162,21 @@ func materializeJournal(w io.Writer, dir string, at int) error {
 	snap := net.Snapshot()
 	fmt.Fprintf(w, "network      : %d flows over %d links\n", snap.NumFlows(), net.Topology().NumLinks())
 	fmt.Fprintf(w, "digest       : %016x\n", net.StateDigest())
+	if len(rec.Faults) > 0 {
+		fmt.Fprintf(w, "faults       : %d journaled\n", len(rec.Faults))
+		for i, ev := range rec.Faults {
+			if len(ev.Changes) == 0 {
+				// Empty-changes events annotate partner-exchange
+				// impairments (outages, latency spikes) that alter no
+				// link capacities.
+				fmt.Fprintf(w, "  [%d] at %-10v partner-exchange impairment\n", i, ev.At)
+				continue
+			}
+			for _, ch := range ev.Changes {
+				fmt.Fprintf(w, "  [%d] at %-10v link %d -> %.0f bps\n", i, ev.At, ch.Link, ch.Bps)
+			}
+		}
+	}
 	return nil
 }
 

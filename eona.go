@@ -50,8 +50,9 @@
 //	for _, item := range iface.Items {
 //	    fmt.Println(item.Direction, item.Data)
 //	}
-//	r := eona.RunOscillation(1)
-//	fmt.Print(r.Table())
+//	if tb, ok := eona.RunExperiment("E2", eona.ExperimentConfig{Seed: 1}); ok {
+//	    fmt.Print(tb.String())
+//	}
 //
 // See examples/ for runnable programs, including a live looking-glass
 // server and client.
@@ -133,24 +134,6 @@ type (
 // NewA2ICollector builds the collector cfg describes: a *Collector when
 // cfg.Shards <= 1, a *ShardedCollector otherwise.
 func NewA2ICollector(cfg CollectorConfig) A2ICollector { return core.NewA2ICollector(cfg) }
-
-// NewCollector builds a Collector for one AppP. window sizes the traffic
-// estimate window (default 5 minutes); seed feeds the privacy noiser.
-//
-// Deprecated: use NewA2ICollector(CollectorConfig{...}), which names the
-// parameters and covers both collector forms.
-func NewCollector(appP string, policy ExportPolicy, window time.Duration, seed int64) *Collector {
-	return core.NewCollector(appP, policy, window, seed)
-}
-
-// NewShardedCollector builds a cluster-mode Collector with the given shard
-// count (panics when shards < 1). Ingest and IngestBatch are safe for
-// concurrent producers; Close drains the shards.
-//
-// Deprecated: use NewA2ICollector(CollectorConfig{..., Shards: shards}).
-func NewShardedCollector(appP string, policy ExportPolicy, window time.Duration, seed int64, shards int) *ShardedCollector {
-	return core.NewShardedCollector(appP, policy, window, seed, shards)
-}
 
 // Per-collaborator standing: which surfaces each partner may read and
 // under which blinding policy (§3 "choose the subset of collaborators",
@@ -480,51 +463,14 @@ type FlashCrowdConfig = expt.E1Config
 // FlashCrowdArm is one arm's fleet-level outcome.
 type FlashCrowdArm = expt.E1Result
 
-// RunFlashCrowd reproduces Figure 3 (E1) with default parameters.
-//
-// Deprecated: use RunExperiment("E1", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunFlashCrowd(seed int64) FlashCrowdResult { return expt.RunE1(seed) }
-
 // RunFlashCrowdConfig runs one Figure 3 arm with custom parameters.
 func RunFlashCrowdConfig(cfg FlashCrowdConfig) FlashCrowdArm { return expt.RunE1Arm(cfg) }
 
-// RunOscillation reproduces Figure 5 (E2).
-//
-// Deprecated: use RunExperiment("E2", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunOscillation(seed int64) OscillationResult { return expt.RunE2(seed) }
-
-// RunInference reproduces Figure 4 (E3).
-//
-// Deprecated: use RunExperiment("E3", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunInference(seed int64) InferenceResult { return expt.RunE3(seed) }
-
-// RunCoarseControl reproduces the §2 server-failure scenario (E4).
-//
-// Deprecated: use RunExperiment("E4", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunCoarseControl(seed int64) CoarseControlResult { return expt.RunE4(seed) }
-
-// RunEnergySaving reproduces the §2 server-shutdown scenario (E5).
-//
-// Deprecated: use RunExperiment("E5", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunEnergySaving(seed int64) EnergyResult { return expt.RunE5(seed) }
-
-// RunStaleness sweeps interface delay (E6).
-//
-// Deprecated: use RunExperiment("E6", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunStaleness(seed int64) StalenessResult { return expt.RunE6(seed) }
-
-// RunScalability measures the A2I pipeline (E7). n is the record volume
-// (default 500k when ≤ 0).
-//
-// Deprecated: use RunExperiment("E7", ExperimentConfig{E7: ScalabilityConfig{Records: n}})
-// for the rendered table; this wrapper remains for callers needing the typed result.
-func RunScalability(n int) ScalabilityResult { return expt.RunE7(n) }
+// RunEnergySavingConfig reproduces the §2 server-shutdown scenario (E5)
+// under cfg, returning the typed result (policy arms with QoE, energy and
+// overload columns). RunExperiment("E5", cfg) renders the same run as a
+// table.
+func RunEnergySavingConfig(cfg ExperimentConfig) EnergyResult { return expt.RunE5(cfg.Seed) }
 
 // ScalabilityConfig parameterizes E7: record volume and the shard counts
 // swept for the cluster-mode rows.
@@ -539,58 +485,6 @@ type ScalabilityDriverPoint = expt.E7DriverPoint
 
 // RunScalabilityConfig measures the A2I pipeline with explicit knobs.
 func RunScalabilityConfig(cfg ScalabilityConfig) ScalabilityResult { return expt.RunE7Config(cfg) }
-
-// RunInterfaceWidth runs the §4 none→narrow→oracle ladder (E8).
-//
-// Deprecated: use RunExperiment("E8", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunInterfaceWidth(seed int64) InterfaceWidthResult { return expt.RunE8(seed) }
-
-// RunTimescales sweeps TE-vs-player control periods with and without
-// dampening (E9).
-//
-// Deprecated: use RunExperiment("E9", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunTimescales(seed int64) TimescaleResult { return expt.RunE9(seed) }
-
-// RunFairness compares per-pipe and per-user fairness across AppPs (E10).
-//
-// Deprecated: use RunExperiment("E10", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunFairness(seed int64) FairnessResult { return expt.RunE10(seed) }
-
-// RunPrivacy sweeps A2I blinding levels (E11).
-//
-// Deprecated: use RunExperiment("E11", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunPrivacy(seed int64) PrivacyResult { return expt.RunE11(seed) }
-
-// RunFeatureSelection ranks session attributes by information gain (E12).
-//
-// Deprecated: use RunExperiment("E12", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunFeatureSelection(seed int64) FeatureSelectionResult { return expt.RunE12(seed) }
-
-// RunWebCellular reproduces Figure 4 in its native web-over-cellular
-// setting (E13).
-//
-// Deprecated: use RunExperiment("E13", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunWebCellular(seed int64) WebCellularResult { return expt.RunE13(seed) }
-
-// RunSearchSpace compares exhaustive and EONA-guided knob search (E14).
-//
-// Deprecated: use RunExperiment("E14", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunSearchSpace(seed int64) SearchSpaceResult { return expt.RunE14(seed) }
-
-// RunChaos executes the E15 chaos sweep: the Figure 5 scenario under
-// seeded fault plans (access-link flap + partner-exchange outage),
-// comparing baseline, hint-trusting EONA, and confidence-aware EONA.
-//
-// Deprecated: use RunExperiment("E15", ExperimentConfig{Seed: seed}) for the
-// rendered table; this wrapper remains for callers needing the typed result.
-func RunChaos(seed int64) ChaosResult { return expt.RunE15(seed) }
 
 // ---- The E-suite as data (experiment registry + parallel runner) ----
 
@@ -608,9 +502,11 @@ type (
 	ExperimentDef = expt.Definition
 )
 
-// Experiments returns the full E1–E15 registry in suite order. This is
-// the one enumeration of the E-suite; the typed Run* functions above are
-// the per-experiment entry points underneath it.
+// Experiments returns the full registry in suite order. This is the one
+// enumeration of the E-suite; RunExperiment runs any entry by ID, and the
+// typed config runners (RunScenario, RunFlashCrowdConfig,
+// RunEnergySavingConfig, RunScalabilityConfig) cover callers that need
+// structured results instead of rendered tables.
 func Experiments() []ExperimentDef { return expt.Definitions() }
 
 // LookupExperiment returns the registered definition for an ID ("E7").
@@ -629,17 +525,6 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, bool) {
 // BindExperiments binds every registered definition to cfg, in suite
 // order — the input RunExperiments consumes.
 func BindExperiments(cfg ExperimentConfig) []Experiment { return expt.BindAll(cfg) }
-
-// ExperimentSuite returns the full E1–E15 list bound to a seed; e7
-// parameterizes the scalability run. Entries are independent (private
-// seeded randomness, private simulated networks) and safe to run
-// concurrently; only E7's wall-clock rows lose meaning under co-running
-// load.
-//
-// Deprecated: use BindExperiments(ExperimentConfig{Seed: seed, E7: e7}).
-func ExperimentSuite(seed int64, e7 ScalabilityConfig) []Experiment {
-	return expt.Suite(seed, e7)
-}
 
 // RunExperiments executes experiments with at most parallelism workers
 // (GOMAXPROCS when ≤ 0), returning tables in input order. parallelism 1

@@ -27,7 +27,12 @@ func TestFacadeRecipe(t *testing.T) {
 
 func TestFacadeCollectorToLookingGlass(t *testing.T) {
 	// AppP side: collect sessions.
-	col := eona.NewCollector("vod", eona.ExportPolicy{MinGroupSessions: 2}, time.Minute, 1)
+	col := eona.NewA2ICollector(eona.CollectorConfig{
+		AppP:   "vod",
+		Policy: eona.ExportPolicy{MinGroupSessions: 2},
+		Window: time.Minute,
+		Seed:   1,
+	})
 	model := eona.DefaultModel()
 	for i := 0; i < 5; i++ {
 		m := eona.SessionMetrics{PlayTime: 10 * time.Minute, AvgBitrate: 2e6, StartupDelay: time.Second}
@@ -67,19 +72,19 @@ func TestFacadeDelayed(t *testing.T) {
 
 func TestFacadeExperimentsRender(t *testing.T) {
 	// The cheap experiments, through the public API.
-	if s := eona.RunOscillation(3).Table().String(); len(s) == 0 {
-		t.Error("oscillation table empty")
+	for _, id := range []string{"E2", "E10"} {
+		tb, ok := eona.RunExperiment(id, eona.ExperimentConfig{Seed: 1})
+		if !ok || len(tb.String()) == 0 {
+			t.Errorf("%s table empty (found=%v)", id, ok)
+		}
 	}
-	if s := eona.RunFairness(1).Table().String(); len(s) == 0 {
-		t.Error("fairness table empty")
-	}
-	if s := eona.RunEnergySaving(1).Table().String(); len(s) == 0 {
+	if s := eona.RunEnergySavingConfig(eona.ExperimentConfig{Seed: 1}).Table().String(); len(s) == 0 {
 		t.Error("energy table empty")
 	}
 }
 
 // TestFacadeExperimentRegistry pins the registry path and its equivalence
-// with the deprecated per-experiment wrappers.
+// with the typed scenario runners.
 func TestFacadeExperimentRegistry(t *testing.T) {
 	defs := eona.Experiments()
 	if len(defs) != 17 {
@@ -95,30 +100,36 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	if !ok {
 		t.Fatal("RunExperiment(E2) not found")
 	}
-	if want := eona.RunOscillation(3).Table().String(); tb.String() != want {
-		t.Error("registry E2 table differs from deprecated RunOscillation wrapper")
+	// E2 is the baseline-vs-EONA Figure 5 pair; composing it from the
+	// typed scenario runners must render the identical table.
+	base := eona.ScenarioConfig{Seed: 3, AppPMode: eona.ModeBaseline, InfPMode: eona.ModeBaseline}
+	withEONA := eona.ScenarioConfig{Seed: 3, AppPMode: eona.ModeEONA, InfPMode: eona.ModeEONA}
+	r := eona.OscillationResult{
+		Baseline: eona.RunScenario(base),
+		EONA:     eona.RunScenario(withEONA),
+		Oracle:   eona.ScenarioOracle(withEONA),
+	}
+	if want := r.Table().String(); tb.String() != want {
+		t.Error("registry E2 table differs from the typed scenario composition")
 	}
 	if got := len(eona.BindExperiments(eona.ExperimentConfig{Seed: 1})); got != 17 {
 		t.Errorf("BindExperiments bound %d experiments, want 17", got)
 	}
 }
 
-// TestFacadeCollectorConfig pins the config constructor against the
-// deprecated positional one through the facade.
+// TestFacadeCollectorConfig pins the config constructor's output shape
+// through the facade.
 func TestFacadeCollectorConfig(t *testing.T) {
 	cfg := eona.CollectorConfig{AppP: "vod", Window: time.Minute, Seed: 1}
 	col := eona.NewA2ICollector(cfg)
-	old := eona.NewCollector("vod", eona.ExportPolicy{}, time.Minute, 1)
 	model := eona.DefaultModel()
 	for i := 0; i < 4; i++ {
 		m := eona.SessionMetrics{PlayTime: 5 * time.Minute, AvgBitrate: 3e6}
-		rec := eona.RecordFrom(model, m, "s", "vod", "isp1", "cdnX", "east", time.Duration(i)*time.Second)
-		col.Ingest(rec)
-		old.Ingest(rec)
+		col.Ingest(eona.RecordFrom(model, m, "s", "vod", "isp1", "cdnX", "east", time.Duration(i)*time.Second))
 	}
-	a, b := col.Summaries(), old.Summaries()
-	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
-		t.Errorf("config-built summaries %+v differ from positional %+v", a, b)
+	sums := col.Summaries()
+	if len(sums) != 1 || sums[0].Key.CDN != "cdnX" || sums[0].Sessions != 4 {
+		t.Errorf("config-built summaries = %+v", sums)
 	}
 	col.Close()
 }

@@ -29,8 +29,13 @@ func ExampleFigure5Recipe() {
 
 // Collecting client-side measurements into a blinded A2I export: groups
 // below the k-anonymity floor are suppressed.
-func ExampleNewCollector() {
-	col := eona.NewCollector("vod", eona.ExportPolicy{MinGroupSessions: 3}, time.Minute, 1)
+func ExampleNewA2ICollector() {
+	col := eona.NewA2ICollector(eona.CollectorConfig{
+		AppP:   "vod",
+		Policy: eona.ExportPolicy{MinGroupSessions: 3},
+		Window: time.Minute,
+		Seed:   1,
+	})
 	model := eona.DefaultModel()
 	for i := 0; i < 4; i++ {
 		m := eona.SessionMetrics{PlayTime: 10 * time.Minute, AvgBitrate: 2e6, StartupDelay: time.Second}
@@ -47,9 +52,16 @@ func ExampleNewCollector() {
 	// isp-a via cdnX: 4 sessions
 }
 
-// The headline experiment: the Figure 5 limit cycle and its EONA fix.
-func ExampleRunOscillation() {
-	r := eona.RunOscillation(1)
+// The headline experiment: the Figure 5 limit cycle and its EONA fix,
+// composed from the typed scenario runners.
+func ExampleRunScenario() {
+	base := eona.ScenarioConfig{Seed: 1, AppPMode: eona.ModeBaseline, InfPMode: eona.ModeBaseline}
+	withEONA := eona.ScenarioConfig{Seed: 1, AppPMode: eona.ModeEONA, InfPMode: eona.ModeEONA}
+	r := eona.OscillationResult{
+		Baseline: eona.RunScenario(base),
+		EONA:     eona.RunScenario(withEONA),
+		Oracle:   eona.ScenarioOracle(withEONA),
+	}
 	fmt.Printf("baseline: oscillating=%v switches=%d\n",
 		r.Baseline.Oscillating, r.Baseline.ISPSwitches+r.Baseline.AppPSwitches)
 	fmt.Printf("eona:     oscillating=%v switches=%d score=%.0f (oracle %.0f)\n",

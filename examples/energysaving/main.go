@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	r := eona.RunEnergySaving(1)
+	r := eona.RunEnergySavingConfig(eona.ExperimentConfig{Seed: 1})
 	fmt.Print(r.Table().String())
 	fmt.Println()
 

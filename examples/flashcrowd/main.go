@@ -13,7 +13,9 @@ import (
 
 func main() {
 	fmt.Println("Figure 3 at the default crowd intensity:")
-	fmt.Print(eona.RunFlashCrowd(1).Table().String())
+	if tb, ok := eona.RunExperiment("E1", eona.ExperimentConfig{Seed: 1}); ok {
+		fmt.Print(tb.String())
+	}
 	fmt.Println()
 
 	fmt.Println("Sweep of peak arrival rate (sessions/s) — engagement minutes out of 10:")

@@ -55,5 +55,7 @@ func main() {
 
 	// 3. The headline result: independent control loops oscillate;
 	// the EONA exchange converges to the paper's green path.
-	fmt.Print(eona.RunOscillation(1).Table().String())
+	if tb, ok := eona.RunExperiment("E2", eona.ExperimentConfig{Seed: 1}); ok {
+		fmt.Print(tb.String())
+	}
 }

@@ -17,13 +17,17 @@ import (
 // Scope names one exported capability.
 type Scope string
 
-// The scopes matching the EONA interface surfaces.
+// The scopes matching the EONA interface surfaces, plus the control-plane
+// scopes: ctl:read covers the inspection and streaming endpoints, ctl:write
+// covers interactive impairment injection.
 const (
 	ScopeA2IQoE     Scope = "a2i:qoe"
 	ScopeA2ITraffic Scope = "a2i:traffic"
 	ScopeI2APeering Scope = "i2a:peering"
 	ScopeI2AAttrib  Scope = "i2a:attribution"
 	ScopeI2AHints   Scope = "i2a:hints"
+	ScopeCtlRead    Scope = "ctl:read"
+	ScopeCtlWrite   Scope = "ctl:write"
 	ScopeAdmin      Scope = "admin"
 )
 

@@ -24,7 +24,8 @@ type HistoryResponse struct {
 // O(distance to the nearest checkpoint), not O(history).
 //
 // The handler is read-only and idempotent; mount it unauthenticated or
-// behind whatever auth the caller's mux applies.
+// behind whatever auth the caller's registry applies. Errors use the
+// unified {"error":{...}} envelope like every other /v1 endpoint.
 func HistoryHandler(maxOffset func() int, at func(offset int) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		max := maxOffset()
@@ -32,7 +33,7 @@ func HistoryHandler(maxOffset func() int, at func(offset int) (any, error)) http
 		if q := r.URL.Query().Get("offset"); q != "" {
 			n, err := strconv.Atoi(q)
 			if err != nil {
-				http.Error(w, fmt.Sprintf("bad offset %q", q), http.StatusBadRequest)
+				WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad offset %q", q))
 				return
 			}
 			if n >= 0 {
@@ -40,12 +41,12 @@ func HistoryHandler(maxOffset func() int, at func(offset int) (any, error)) http
 			}
 		}
 		if offset > max {
-			http.Error(w, fmt.Sprintf("offset %d beyond journal end %d", offset, max), http.StatusBadRequest)
+			WriteError(w, http.StatusBadRequest, fmt.Sprintf("offset %d beyond journal end %d", offset, max))
 			return
 		}
 		data, err := at(offset)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			WriteError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

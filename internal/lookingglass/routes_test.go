@@ -1,0 +1,146 @@
+package lookingglass
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eona/internal/auth"
+)
+
+func decodeEnvelope(t *testing.T, body string) APIError {
+	t.Helper()
+	var ee ErrorEnvelope
+	if err := json.Unmarshal([]byte(body), &ee); err != nil || ee.Err.Message == "" {
+		t.Fatalf("body is not the unified error envelope: %q", body)
+	}
+	return ee.Err
+}
+
+// TestRoutesDispatch pins the registry's dispatch and error surface: exact
+// path match, 404/405 with the unified envelope, Allow header on 405, scope
+// guarding, and public routes.
+func TestRoutesDispatch(t *testing.T) {
+	store := auth.NewStore()
+	store.Register("tok", "partner", auth.ScopeCtlRead)
+	rt := NewRoutes(store, nil)
+	rt.HandleFunc("GET", "/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	var sawCollab string
+	rt.Handle("GET", "/v1/guarded", auth.ScopeCtlRead, func(w http.ResponseWriter, r *http.Request, collab string) {
+		sawCollab = collab
+		w.Write([]byte("in"))
+	})
+	rt.Handle("POST", "/v1/guarded", auth.ScopeCtlWrite, func(w http.ResponseWriter, r *http.Request, _ string) {})
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	get := func(path, token string) (int, string, http.Header) {
+		req, _ := http.NewRequest("GET", ts.URL+path, nil)
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String(), resp.Header
+	}
+
+	// Public route needs no token.
+	if code, body, _ := get("/v1/health", ""); code != 200 || body != "ok" {
+		t.Errorf("health = %d %q", code, body)
+	}
+	// Unknown path → enveloped 404.
+	if code, body, _ := get("/v1/nope", ""); code != 404 || decodeEnvelope(t, body).Code != 404 {
+		t.Errorf("unknown path = %d %q", code, body)
+	}
+	// Known path, unregistered method → enveloped 405 with Allow.
+	req, _ := http.NewRequest("PUT", ts.URL+"/v1/guarded", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("PUT guarded = %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
+		t.Errorf("Allow = %q, want \"GET, POST\"", allow)
+	}
+	// Scope guard: missing token, granted, not granted.
+	if code, body, _ := get("/v1/guarded", ""); code != 401 || decodeEnvelope(t, body).Code != 401 {
+		t.Errorf("guarded without token = %d %q", code, body)
+	}
+	if code, body, _ := get("/v1/guarded", "tok"); code != 200 || body != "in" || sawCollab != "partner" {
+		t.Errorf("guarded with token = %d %q (collab %q)", code, body, sawCollab)
+	}
+
+	// Table reflects registration order.
+	tab := rt.Table()
+	if len(tab) != 3 || tab[0].Pattern != "/v1/health" || tab[1].Scope != auth.ScopeCtlRead {
+		t.Errorf("table = %+v", tab)
+	}
+}
+
+// TestRoutesPanics pins the registry's wiring-bug panics.
+func TestRoutesPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	rt := NewRoutes(nil, nil)
+	mustPanic("scoped route without store", func() {
+		rt.Handle("GET", "/v1/x", auth.ScopeCtlRead, nil)
+	})
+	rt.HandleFunc("GET", "/v1/x", func(http.ResponseWriter, *http.Request) {})
+	mustPanic("duplicate route", func() {
+		rt.HandleFunc("GET", "/v1/x", func(http.ResponseWriter, *http.Request) {})
+	})
+}
+
+// TestHistoryHandlerEnvelope pins the bugfix: HistoryHandler errors used to
+// be raw text/plain; they must now speak the unified JSON envelope.
+func TestHistoryHandlerEnvelope(t *testing.T) {
+	h := HistoryHandler(
+		func() int { return 10 },
+		func(offset int) (any, error) { return map[string]int{"offset": offset}, nil },
+	)
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"?offset=abc", 400},
+		{"?offset=11", 400},
+	} {
+		rr := httptest.NewRecorder()
+		h(rr, httptest.NewRequest("GET", "/v1/history/summaries"+tc.query, nil))
+		if rr.Code != tc.want {
+			t.Errorf("%s: code %d, want %d", tc.query, rr.Code, tc.want)
+		}
+		if ae := decodeEnvelope(t, rr.Body.String()); ae.Code != tc.want {
+			t.Errorf("%s: envelope code %d, want %d", tc.query, ae.Code, tc.want)
+		}
+		if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content type %q", tc.query, ct)
+		}
+	}
+}

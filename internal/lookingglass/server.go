@@ -13,7 +13,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"log"
 	"net/http"
 	"strings"
@@ -72,51 +71,37 @@ func NewServer(store *auth.Store, limiter *auth.RateLimiter, src Sources) *Serve
 	}
 }
 
-// Handler returns the HTTP handler exposing the EONA routes:
+// Routes returns a route registry preloaded with the EONA looking-glass
+// endpoints:
 //
 //	GET /v1/a2i/summaries          (scope a2i:qoe)
 //	GET /v1/a2i/traffic            (scope a2i:traffic)
 //	GET /v1/i2a/peering?cdn=X      (scope i2a:peering)
 //	GET /v1/i2a/attribution?cdn=X  (scope i2a:attribution)
 //	GET /v1/i2a/hints?cdn=X&cluster=Y (scope i2a:hints)
+//
+// Callers compose further endpoints (health, history, control plane) onto
+// the same registry; they share the scope guard, rate limiter and error
+// envelope.
+func (s *Server) Routes() *Routes {
+	rt := NewRoutes(s.auth, s.limiter)
+	rt.Logf = s.logf
+	rt.Handle("GET", "/v1/a2i/summaries", auth.ScopeA2IQoE, s.handleSummaries)
+	rt.Handle("GET", "/v1/a2i/traffic", auth.ScopeA2ITraffic, s.handleTraffic)
+	rt.Handle("GET", "/v1/i2a/peering", auth.ScopeI2APeering, s.handlePeering)
+	rt.Handle("GET", "/v1/i2a/attribution", auth.ScopeI2AAttrib, s.handleAttribution)
+	rt.Handle("GET", "/v1/i2a/hints", auth.ScopeI2AHints, s.handleHints)
+	return rt
+}
+
+// Handler returns the HTTP handler exposing the looking-glass routes.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/a2i/summaries", s.guard(auth.ScopeA2IQoE, s.handleSummaries))
-	mux.HandleFunc("GET /v1/a2i/traffic", s.guard(auth.ScopeA2ITraffic, s.handleTraffic))
-	mux.HandleFunc("GET /v1/i2a/peering", s.guard(auth.ScopeI2APeering, s.handlePeering))
-	mux.HandleFunc("GET /v1/i2a/attribution", s.guard(auth.ScopeI2AAttrib, s.handleAttribution))
-	mux.HandleFunc("GET /v1/i2a/hints", s.guard(auth.ScopeI2AHints, s.handleHints))
-	return mux
+	return s.Routes().Handler()
 }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
 		s.Logf(format, args...)
-	}
-}
-
-func (s *Server) guard(scope auth.Scope, next func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		token, ok := bearerToken(r)
-		if !ok {
-			s.deny(w, http.StatusUnauthorized, "missing bearer token")
-			return
-		}
-		collab, err := s.auth.Authorize(token, scope)
-		if err != nil {
-			code := http.StatusUnauthorized
-			if errors.Is(err, auth.ErrForbidden) {
-				code = http.StatusForbidden
-			}
-			s.logf("lookingglass: denied %s %s: %v", r.Method, r.URL.Path, err)
-			s.deny(w, code, err.Error())
-			return
-		}
-		if s.limiter != nil && !s.limiter.Allow(collab, time.Now()) {
-			s.deny(w, http.StatusTooManyRequests, "rate limit exceeded")
-			return
-		}
-		next(w, r, collab)
 	}
 }
 
@@ -130,14 +115,7 @@ func bearerToken(r *http.Request) (string, bool) {
 }
 
 func (s *Server) deny(w http.ResponseWriter, code int, msg string) {
-	data, err := wire.Encode(wire.TypeError, s.Now(), wire.ErrorBody{Code: code, Message: msg})
-	if err != nil {
-		http.Error(w, msg, code)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	w.Write(data)
+	WriteError(w, code, msg)
 }
 
 func (s *Server) reply(w http.ResponseWriter, r *http.Request, t wire.MessageType, payload any) {

@@ -1,0 +1,49 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSnapshotComponents pins the control-plane membership accessor: two
+// link-disjoint flow groups must surface as two components, each listing its
+// flow IDs in ascending order.
+func TestSnapshotComponents(t *testing.T) {
+	topo := NewTopology()
+	la := topo.AddLink("a", "b", 10e6, time.Millisecond, "left")
+	lb := topo.AddLink("c", "d", 10e6, time.Millisecond, "right")
+	n := NewNetwork(topo)
+
+	f1 := n.StartFlow(Path{la}, 1e6, "l1")
+	f2 := n.StartFlow(Path{la}, 1e6, "l2")
+	f3 := n.StartFlow(Path{lb}, 1e6, "r1")
+
+	comps := n.Snapshot().Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2 (%+v)", len(comps), comps)
+	}
+	byFirst := map[FlowID][]FlowID{}
+	for _, c := range comps {
+		if len(c.Flows) == 0 {
+			t.Fatalf("empty component %+v", c)
+		}
+		for i := 1; i < len(c.Flows); i++ {
+			if c.Flows[i-1] >= c.Flows[i] {
+				t.Errorf("component %d flows not ascending: %v", c.Slot, c.Flows)
+			}
+		}
+		byFirst[c.Flows[0]] = c.Flows
+	}
+	if got := byFirst[f1.ID]; len(got) != 2 || got[0] != f1.ID || got[1] != f2.ID {
+		t.Errorf("left component = %v, want [%d %d]", got, f1.ID, f2.ID)
+	}
+	if got := byFirst[f3.ID]; len(got) != 1 || got[0] != f3.ID {
+		t.Errorf("right component = %v, want [%d]", got, f3.ID)
+	}
+
+	// Stopping a group removes its component from the next snapshot.
+	n.StopFlow(f3)
+	if comps := n.Snapshot().Components(); len(comps) != 1 {
+		t.Errorf("after stop, components = %d, want 1", len(comps))
+	}
+}

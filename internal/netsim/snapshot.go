@@ -627,3 +627,29 @@ func (s *Snapshot) Flows(fn func(FlowView)) {
 
 // Stats returns the allocator work counters at snapshot time.
 func (s *Snapshot) Stats() Stats { return s.stats }
+
+// ComponentView is one registry component's membership frozen at snapshot
+// time: the component's chunk slot and its flow IDs in ascending order.
+type ComponentView struct {
+	Slot  int      `json:"slot"`
+	Flows []FlowID `json:"flows"`
+}
+
+// Components returns the link-connected component membership at snapshot
+// time, ordered by slot. Snapshots taken without the component registry
+// report a single component holding every flow. This is a query-surface
+// accessor: it allocates the result and is not part of the publish path.
+func (s *Snapshot) Components() []ComponentView {
+	var out []ComponentView
+	for slot, ch := range s.flows.chunks {
+		if ch == nil || len(ch.views) == 0 {
+			continue
+		}
+		ids := make([]FlowID, len(ch.views))
+		for i, v := range ch.views {
+			ids[i] = v.ID
+		}
+		out = append(out, ComponentView{Slot: slot, Flows: ids})
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package web
+
+import "net/http"
+
+// DashboardHandler serves the embedded operations dashboard: a single
+// self-contained HTML page over the /v1 control plane — topology/link table,
+// a live utilization sparkline fed by the SSE stream, and an impairment
+// form. The page itself is public; every API call it makes carries the
+// operator's bearer token (kept in localStorage), so the auth story is the
+// same as curl's. The stream is consumed with fetch + ReadableStream rather
+// than EventSource because EventSource cannot send an Authorization header.
+func DashboardHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(dashboardHTML))
+	}
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>EONA operations</title>
+<style>
+  body { font: 14px/1.4 system-ui, sans-serif; margin: 1.5rem; max-width: 72rem; color: #1a202c; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #e2e8f0; font-variant-numeric: tabular-nums; }
+  th { background: #f7fafc; }
+  .bar { display: inline-block; height: .7rem; background: #3182ce; vertical-align: middle; border-radius: 2px; }
+  .sev { color: #c53030; font-weight: 600; } .high { color: #dd6b20; } .mod { color: #b7791f; }
+  #status { color: #718096; } .err { color: #c53030; }
+  input, select, button { font: inherit; padding: .25rem .5rem; margin-right: .4rem; }
+  canvas { border: 1px solid #e2e8f0; background: #fff; }
+  form { margin: .6rem 0; }
+  .muted { color: #a0aec0; }
+</style>
+</head>
+<body>
+<h1>EONA operations dashboard</h1>
+<p>
+  <label>Token <input id="token" size="24" placeholder="bearer token"></label>
+  <button onclick="connect()">Connect</button>
+  <span id="status">disconnected</span>
+</p>
+
+<h2>Metrics <span class="muted">(mean util blue, max util red, via /v1/stream)</span></h2>
+<canvas id="spark" width="900" height="120"></canvas>
+<div id="counters" class="muted"></div>
+
+<h2>Topology</h2>
+<table id="links"><thead><tr>
+  <th>link</th><th>route</th><th>capacity</th><th>rate</th><th>util</th><th>congestion</th><th>flows</th>
+</tr></thead><tbody></tbody></table>
+
+<h2>Inject impairment</h2>
+<form onsubmit="inject(event)">
+  <select id="kind">
+    <option value="link-throttle">link-throttle</option>
+    <option value="link-flap">link-flap</option>
+    <option value="latency-spike">latency-spike</option>
+    <option value="partner-outage">partner-outage</option>
+  </select>
+  <select id="impLink"></select>
+  <input id="factor" size="5" value="0.5" title="throttle factor [0,1)">
+  <input id="duration" size="6" value="30s" title="duration, empty = until restored">
+  <input id="extra" size="6" value="200ms" title="extra latency for latency-spike">
+  <button>Inject</button>
+</form>
+<table id="imps"><thead><tr>
+  <th>id</th><th>kind</th><th>link</th><th>applied</th><th>active</th><th></th>
+</tr></thead><tbody></tbody></table>
+
+<script>
+'use strict';
+let streaming = false;
+const hist = [];
+const $ = id => document.getElementById(id);
+$('token').value = localStorage.getItem('eona-token') || '';
+
+function hdrs() { return { 'Authorization': 'Bearer ' + $('token').value }; }
+function mbps(b) { return (b / 1e6).toFixed(1) + ' Mbps'; }
+async function api(path, opts) {
+  const r = await fetch(path, Object.assign({ headers: hdrs() }, opts || {}));
+  const body = await r.json().catch(() => ({}));
+  if (!r.ok) throw new Error((body.error && body.error.message) || ('HTTP ' + r.status));
+  return body;
+}
+
+function drawLinks(links) {
+  const tb = $('links').tBodies[0];
+  tb.innerHTML = '';
+  for (const l of links) {
+    const row = tb.insertRow();
+    const cls = l.congestion === 'severe' ? 'sev' : l.congestion === 'high' ? 'high' :
+                l.congestion === 'moderate' ? 'mod' : '';
+    row.innerHTML = '<td>' + l.name + '</td><td>' + l.from + ' → ' + l.to +
+      '</td><td>' + mbps(l.capacity_bps) + '</td><td>' + mbps(l.rate_bps) +
+      '</td><td><span class="bar" style="width:' + Math.round(l.utilization * 120) + 'px"></span> ' +
+      (l.utilization * 100).toFixed(0) + '%</td><td class="' + cls + '">' + l.congestion +
+      '</td><td>' + l.flows + '</td>';
+  }
+  const sel = $('impLink');
+  if (sel.options.length !== links.length) {
+    sel.innerHTML = links.map(l => '<option>' + l.name + '</option>').join('');
+  }
+}
+
+function drawSpark() {
+  const c = $('spark'), g = c.getContext('2d');
+  g.clearRect(0, 0, c.width, c.height);
+  const n = hist.length;
+  if (n < 2) return;
+  const step = c.width / Math.max(n - 1, 1);
+  for (const [key, color] of [['mean_util', '#3182ce'], ['max_util', '#e53e3e']]) {
+    g.beginPath();
+    hist.forEach((s, i) => {
+      const y = c.height - 4 - s[key] * (c.height - 8);
+      i ? g.lineTo(i * step, y) : g.moveTo(0, y);
+    });
+    g.strokeStyle = color; g.lineWidth = 1.5; g.stroke();
+  }
+}
+
+async function refreshImps() {
+  const data = await api('/v1/impairments');
+  const tb = $('imps').tBodies[0];
+  tb.innerHTML = '';
+  for (const im of data.impairments) {
+    const row = tb.insertRow();
+    row.innerHTML = '<td>' + im.id + '</td><td>' + im.kind + '</td><td>' + (im.link || '—') +
+      '</td><td>' + (im.applied_bps ? mbps(im.applied_bps) : im.extra || '—') +
+      '</td><td>' + im.active + '</td><td>' +
+      (im.active ? '<button onclick="restore(' + im.id + ')">restore</button>' : '') + '</td>';
+  }
+}
+
+async function inject(ev) {
+  ev.preventDefault();
+  const kind = $('kind').value;
+  const body = { kind: kind, duration: $('duration').value };
+  if (kind === 'link-throttle' || kind === 'link-flap') body.link = $('impLink').value;
+  if (kind === 'link-throttle') body.factor = parseFloat($('factor').value);
+  if (kind === 'latency-spike') body.extra = $('extra').value;
+  if (!body.duration) delete body.duration;
+  try {
+    await api('/v1/impairments', { method: 'POST', body: JSON.stringify(body) });
+    await refreshImps();
+  } catch (e) { setStatus('inject failed: ' + e.message, true); }
+}
+
+async function restore(id) {
+  try {
+    await api('/v1/impairments?id=' + id, { method: 'DELETE' });
+    await refreshImps();
+  } catch (e) { setStatus('restore failed: ' + e.message, true); }
+}
+
+function setStatus(msg, isErr) {
+  $('status').textContent = msg;
+  $('status').className = isErr ? 'err' : '';
+}
+
+async function stream() {
+  // fetch + ReadableStream: EventSource cannot carry the bearer token.
+  const resp = await fetch('/v1/stream?interval=1s', { headers: hdrs() });
+  if (!resp.ok) { setStatus('stream failed: HTTP ' + resp.status, true); streaming = false; return; }
+  setStatus('streaming');
+  const rd = resp.body.getReader();
+  const dec = new TextDecoder();
+  let buf = '';
+  for (;;) {
+    const { done, value } = await rd.read();
+    if (done) break;
+    buf += dec.decode(value, { stream: true });
+    let i;
+    while ((i = buf.indexOf('\n\n')) >= 0) {
+      const chunk = buf.slice(0, i); buf = buf.slice(i + 2);
+      if (!chunk.startsWith('data: ')) continue;
+      const s = JSON.parse(chunk.slice(6));
+      hist.push(s);
+      if (hist.length > 300) hist.shift();
+      drawLinks(s.links);
+      drawSpark();
+      $('counters').textContent = 'flows ' + s.flows + ' · reallocations ' + s.reallocations +
+        ' · qoe ingested ' + s.read_models.qoe_ingested +
+        ' · active impairments ' + s.active_impairments;
+    }
+  }
+  setStatus('stream ended', true);
+  streaming = false;
+}
+
+async function connect() {
+  localStorage.setItem('eona-token', $('token').value);
+  try {
+    const topo = await api('/v1/topology');
+    drawLinks(topo.links);
+    await refreshImps();
+  } catch (e) { setStatus(e.message, true); return; }
+  if (!streaming) { streaming = true; stream(); }
+}
+</script>
+</body>
+</html>
+`

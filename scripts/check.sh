@@ -12,11 +12,11 @@ go build ./...
 go vet ./...
 # Fast-fail on the concurrency-heavy packages (sharded collector, merge
 # primitives, shared network + snapshots, looking-glass pollers, event
-# journal) and the allocator/control-loop packages (component registry,
-# reaction coalescing) before the full sweep.
+# journal, control plane + SSE streaming) and the allocator/control-loop
+# packages (component registry, reaction coalescing) before the full sweep.
 go test -race ./internal/core/... ./internal/agg/... ./internal/netsim/... \
 	./internal/control/... ./internal/lookingglass/... ./internal/journal/... \
-	./internal/projection/...
+	./internal/projection/... ./internal/ctlplane/...
 # The crash-injection sweep: kill the journal at every record boundary (and
 # seeded mid-record offsets) on every topology fixture; recovery must equal
 # a from-scratch serial replay of the surviving prefix. The projection sweep
